@@ -1,0 +1,65 @@
+//! **Ablation A3** — the EMAX accuracy/coverage dial (DESIGN.md).
+//!
+//! The conclusions state: "The algorithm can also be tuned in order to
+//! attain a higher prediction percentage at the cost of worse prediction
+//! results." EMAX is that dial — it both disqualifies rules whose worst-case
+//! error exceeds it and scales the reward for coverage. This ablation sweeps
+//! EMAX (as a fraction of the training range) on Venice τ = 4 and reports
+//! the coverage/error frontier.
+//!
+//! Run: `cargo bench -p evoforecast-bench --bench ablation_emax`
+
+use evoforecast_bench::output::{banner, fmt_opt};
+use evoforecast_bench::{evaluate_abstaining, train_rule_system, RuleSystemSetup, Scale};
+use evoforecast_tsdata::gen::venice::VeniceTide;
+use evoforecast_tsdata::window::WindowSpec;
+
+const D: usize = 24;
+const HORIZON: usize = 4;
+const SEED: u64 = 64;
+const FRACTIONS: [f64; 7] = [0.05, 0.10, 0.15, 0.25, 0.40, 0.60, 0.90];
+
+fn main() {
+    let scale = Scale::from_env();
+    let train_len = (scale.venice_train / 2).max(2_000);
+    let valid_len = (scale.venice_valid / 2).max(1_000);
+    banner(
+        "Ablation A3 — EMAX sweep: the accuracy vs coverage trade-off",
+        &format!(
+            "Venice τ={HORIZON}, train {train_len} h, valid {valid_len} h, pop {}, {} generations",
+            scale.population, scale.generations
+        ),
+    );
+
+    let series = VeniceTide::default().generate(train_len + valid_len, SEED);
+    let (train, valid) = series.values().split_at(train_len);
+    let spec = WindowSpec::new(D, HORIZON).expect("valid spec");
+
+    println!(
+        "{:>12} {:>12} {:>10} {:>10} {:>8}",
+        "EMAX(frac)", "coverage%", "rmse", "max|err|", "rules"
+    );
+    for &fraction in &FRACTIONS {
+        let setup = RuleSystemSetup {
+            spec,
+            emax_fraction: fraction,
+            population: scale.population,
+            generations: scale.generations,
+            executions: 1,
+            seed: SEED,
+        };
+        let (predictor, _) = train_rule_system(train, setup);
+        let pairs = evaluate_abstaining(&predictor, valid, spec);
+        println!(
+            "{:>12.2} {:>12} {:>10} {:>10} {:>8}",
+            fraction,
+            fmt_opt(pairs.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(pairs.rmse().ok(), 3),
+            fmt_opt(pairs.max_abs_error().ok(), 2),
+            predictor.len(),
+        );
+    }
+
+    println!("\nExpectation: larger EMAX admits sloppier rules — coverage rises while");
+    println!("RMSE and the worst-case error degrade; small EMAX is precise but abstains more.");
+}

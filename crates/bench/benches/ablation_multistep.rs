@@ -1,0 +1,103 @@
+//! **A7** — direct vs. iterated multi-step forecasting (extension).
+//!
+//! The paper always trains *directly* at horizon τ (each rule's target is
+//! `x_{t+τ}`). The standard alternative trains at τ = 1 and iterates,
+//! feeding predictions back. This ablation compares both on Venice at
+//! several horizons. The abstaining system adds a twist: an iterated run
+//! dies the moment the synthesized window leaves the learned manifold —
+//! so whether iteration survives is an empirical question about how well
+//! the τ=1 model's predictions stay on the manifold it learned.
+//!
+//! Run: `cargo bench -p evoforecast-bench --bench ablation_multistep`
+
+use evoforecast_bench::output::{banner, fmt_opt};
+use evoforecast_bench::{train_rule_system, RuleSystemSetup, Scale};
+use evoforecast_core::multistep::free_run;
+use evoforecast_metrics::PairedErrors;
+use evoforecast_tsdata::gen::venice::VeniceTide;
+use evoforecast_tsdata::window::WindowSpec;
+
+const D: usize = 24;
+const SEED: u64 = 512;
+const HORIZONS: [usize; 3] = [4, 12, 24];
+
+fn main() {
+    let scale = Scale::from_env();
+    let train_len = (scale.venice_train / 2).max(2_000);
+    let valid_len = (scale.venice_valid / 2).max(1_000);
+    banner(
+        "A7 — direct horizon-τ training vs iterating a τ=1 model",
+        &format!(
+            "Venice, train {train_len} h, valid {valid_len} h, pop {}, {} generations",
+            scale.population, scale.generations
+        ),
+    );
+
+    let series = VeniceTide::default().generate(train_len + valid_len, SEED);
+    let (train, valid) = series.values().split_at(train_len);
+
+    // One τ=1 model to iterate...
+    let spec1 = WindowSpec::new(D, 1).expect("valid spec");
+    let (iterated_model, _) = train_rule_system(
+        train,
+        RuleSystemSetup {
+            spec: spec1,
+            emax_fraction: 0.15,
+            population: scale.population,
+            generations: scale.generations,
+            executions: scale.executions,
+            seed: SEED,
+        },
+    );
+
+    println!(
+        "{:>4} | {:>18} {:>10} | {:>18} {:>10}",
+        "τ", "direct coverage%", "rmse", "iterated coverage%", "rmse"
+    );
+    for horizon in HORIZONS {
+        // ... and one direct model per horizon.
+        let spec_h = WindowSpec::new(D, horizon).expect("valid spec");
+        let (direct_model, _) = train_rule_system(
+            train,
+            RuleSystemSetup {
+                spec: spec_h,
+                emax_fraction: 0.15 + 0.12 * (horizon as f64 / 96.0),
+                population: scale.population,
+                generations: scale.generations,
+                executions: scale.executions,
+                seed: SEED + horizon as u64,
+            },
+        );
+
+        let ds = spec_h.dataset(valid).expect("valid fits");
+        let mut direct = PairedErrors::with_capacity(ds.len());
+        let mut iterated = PairedErrors::with_capacity(ds.len());
+        for i in 0..ds.len() {
+            let window = ds.window(i);
+            let target = ds.target(i);
+            direct.record(target, direct_model.predict(window));
+            // Iterate τ=1 from the same window; step `horizon` must survive.
+            let run = free_run(&iterated_model, window, horizon);
+            let pred = if run.len() == horizon {
+                Some(run.predictions[horizon - 1])
+            } else {
+                None
+            };
+            iterated.record(target, pred);
+        }
+
+        println!(
+            "{horizon:>4} | {:>18} {:>10} | {:>18} {:>10}",
+            fmt_opt(direct.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(direct.rmse().ok(), 3),
+            fmt_opt(iterated.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(iterated.rmse().ok(), 3),
+        );
+    }
+
+    println!("\nReading: on a strongly periodic series a good τ=1 model iterates");
+    println!("with little compounding — coverage stays high because its predictions");
+    println!("remain on the learned manifold. Direct training's advantage is that it");
+    println!("needs no feedback loop (one rule firing per forecast, no error recursion)");
+    println!("and behaves identically on series where iteration *does* wander off.");
+}

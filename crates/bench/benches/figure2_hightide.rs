@@ -1,0 +1,107 @@
+//! **Figure 2** — prediction of an unusual high tide (horizon 1).
+//!
+//! The paper's figure overlays the real Venice series and the rule-system
+//! prediction around an *acqua alta* event, showing the method tracking an
+//! atypical excursion. This harness trains at τ = 1, locates the highest
+//! tide of the validation span, and prints the aligned `(t, actual,
+//! predicted)` series — the exact data behind the figure — plus summary
+//! statistics over the event window.
+//!
+//! Run: `cargo bench -p evoforecast-bench --bench figure2_hightide`
+
+use evoforecast_bench::output::{banner, fmt_opt};
+use evoforecast_bench::{train_rule_system, RuleSystemSetup, Scale};
+use evoforecast_tsdata::gen::venice::VeniceTide;
+use evoforecast_tsdata::window::WindowSpec;
+
+const D: usize = 24;
+/// Seed chosen so a genuine acqua alta event (> 110 cm) lands inside the
+/// quick-scale validation span — the figure needs an *unusual* tide.
+const SEED: u64 = 2035;
+/// Hours shown on each side of the peak.
+const HALF_SPAN: usize = 36;
+
+fn main() {
+    let scale = Scale::from_env();
+    banner(
+        "Figure 2 — rule-system tracking of an unusual high tide (τ = 1)",
+        &format!(
+            "train {} h, valid {} h, pop {}, {} generations",
+            scale.venice_train, scale.venice_valid, scale.population, scale.generations
+        ),
+    );
+
+    let total = scale.venice_train + scale.venice_valid;
+    let series = VeniceTide::default().generate(total, SEED);
+    let (train, valid) = series.values().split_at(scale.venice_train);
+
+    let spec = WindowSpec::new(D, 1).expect("valid spec");
+    let setup = RuleSystemSetup {
+        spec,
+        emax_fraction: 0.15,
+        population: scale.population,
+        generations: scale.generations,
+        executions: scale.executions,
+        seed: SEED + 1,
+    };
+    let (predictor, _) = train_rule_system(train, setup);
+
+    // Locate the validation peak. A prediction for series index t comes from
+    // the window starting at t - D (window covers t-D..t-1, target t).
+    let ds = spec.dataset(valid).expect("valid fits spec");
+    let peak_target = (0..ds.len())
+        .max_by(|&a, &b| ds.target(a).total_cmp(&ds.target(b)))
+        .expect("non-empty validation");
+    let peak_level = ds.target(peak_target);
+    println!(
+        "highest validation tide: {peak_level:.1} cm at window index {peak_target} \
+         ({}acqua alta)",
+        if peak_level > 110.0 { "" } else { "below the 110 cm " }
+    );
+    println!("\n  t(h)   actual(cm)  predicted(cm)  firing-rules");
+
+    let lo = peak_target.saturating_sub(HALF_SPAN);
+    let hi = (peak_target + HALF_SPAN).min(ds.len() - 1);
+    let mut abs_errors = Vec::new();
+    let mut abstained = 0usize;
+    for i in lo..=hi {
+        let window = ds.window(i);
+        let actual = ds.target(i);
+        match predictor.predict_detailed(window) {
+            Some(d) => {
+                abs_errors.push((actual - d.value).abs());
+                println!(
+                    "  {:>5}  {actual:>10.1}  {:>13.1}  {:>12}",
+                    i as isize - peak_target as isize,
+                    d.value,
+                    d.firing_rules
+                );
+            }
+            None => {
+                abstained += 1;
+                println!(
+                    "  {:>5}  {actual:>10.1}  {:>13}  {:>12}",
+                    i as isize - peak_target as isize,
+                    "-",
+                    0
+                );
+            }
+        }
+    }
+
+    let mean_err = if abs_errors.is_empty() {
+        None
+    } else {
+        Some(abs_errors.iter().sum::<f64>() / abs_errors.len() as f64)
+    };
+    let max_err = abs_errors.iter().copied().fold(f64::NAN, f64::max);
+    println!(
+        "\nevent window: {} points, {} abstentions, mean |err| = {} cm, max |err| = {} cm",
+        hi - lo + 1,
+        abstained,
+        fmt_opt(mean_err, 2),
+        fmt_opt(if max_err.is_nan() { None } else { Some(max_err) }, 2),
+    );
+    println!("Shape check (paper): the prediction visually tracks the unusual excursion —");
+    println!("mean |err| over the event should stay in single-digit centimetres.");
+}

@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the linear-algebra kernels the engine
+//! leans on: the ridge-path Gram accumulation, QR least squares, LU solve,
+//! and the FFT used for spectral validation.
+//!
+//! Run: `cargo bench -p evoforecast-bench --bench micro_linalg`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use evoforecast_linalg::fft::fft_real;
+use evoforecast_linalg::lu::LuDecomposition;
+use evoforecast_linalg::qr::QrDecomposition;
+use evoforecast_linalg::regression::{LinearRegression, RegressionOptions};
+use evoforecast_linalg::Matrix;
+use std::hint::black_box;
+
+/// A well-conditioned pseudo-random design matrix.
+fn design(rows: usize, cols: usize) -> Matrix {
+    let mut m = Matrix::from_fn(rows, cols, |i, j| {
+        (i as f64 * (0.713 + 0.317 * j as f64)).sin() * 3.0
+    });
+    for k in 0..cols.min(rows) {
+        m[(k, k)] += 2.0;
+    }
+    m
+}
+
+fn targets(rows: usize) -> Vec<f64> {
+    (0..rows).map(|i| (i as f64 * 0.21).cos()).collect()
+}
+
+fn bench_regression(c: &mut Criterion) {
+    let mut group = c.benchmark_group("regression_fit");
+    // The engine's typical shapes: NR matched windows x D taps.
+    for &(n, d) in &[(500usize, 4usize), (2_000, 24), (10_000, 24)] {
+        let xs = design(n, d);
+        let ys = targets(n);
+        group.bench_with_input(
+            BenchmarkId::new("ridge_fast", format!("{n}x{d}")),
+            &(n, d),
+            |b, _| {
+                b.iter(|| {
+                    black_box(LinearRegression::fit_with(
+                        black_box(&xs),
+                        black_box(&ys),
+                        RegressionOptions::fast(),
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("qr", format!("{n}x{d}")),
+            &(n, d),
+            |b, _| {
+                b.iter(|| {
+                    black_box(LinearRegression::fit_with(
+                        black_box(&xs),
+                        black_box(&ys),
+                        RegressionOptions::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("factorizations");
+    for &n in &[8usize, 25, 64] {
+        let a = {
+            let mut m = design(n, n);
+            for i in 0..n {
+                m[(i, i)] += n as f64; // diagonally dominant
+            }
+            m
+        };
+        let b = targets(n);
+        group.bench_with_input(BenchmarkId::new("lu_solve", n), &n, |bch, _| {
+            bch.iter(|| {
+                let lu = LuDecomposition::new(black_box(&a)).unwrap();
+                black_box(lu.solve(black_box(&b)).unwrap())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("qr_factorize", n), &n, |bch, _| {
+            bch.iter(|| black_box(QrDecomposition::new(black_box(&a)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft_real");
+    for &n in &[1_024usize, 8_192, 65_536] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(fft_real(black_box(&signal)).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_regression, bench_factorizations, bench_fft
+}
+criterion_main!(benches);

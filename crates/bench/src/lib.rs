@@ -1,0 +1,23 @@
+//! Shared experiment harness.
+//!
+//! Every bench target (one per paper table/figure, plus ablations) builds on
+//! the helpers here: scaled experiment sizing ([`scale`]), training wrappers
+//! for the rule system and the neural comparators ([`experiments`]), the
+//! paper's published numbers ([`paper`]), and row formatting ([`output`]).
+//!
+//! Scaling: defaults are laptop-sized; set `EVOFORECAST_FULL=1` to run every
+//! experiment at the paper's full parameters (45 000 training points, 75 000
+//! generations, ...).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod paper;
+pub mod scale;
+
+pub use experiments::{
+    evaluate_abstaining, evaluate_forecaster, train_mlp_forecaster, train_rule_system,
+    RuleSystemSetup, ScaledForecaster,
+};
+pub use scale::Scale;

@@ -1,0 +1,76 @@
+//! The paper's published numbers, echoed next to our measurements so every
+//! bench prints `paper=… measured=…` rows and EXPERIMENTS.md can record the
+//! shape comparison.
+
+/// One row of Table 1 (Venice Lagoon): horizon, % prediction, RMSE of the
+/// rule system, RMSE of the neural network of Zaldívar et al. (`None` where
+/// the paper reports "-").
+pub const TABLE1_VENICE: &[(usize, f64, f64, Option<f64>)] = &[
+    (1, 91.3, 3.37, Some(3.30)),
+    (4, 99.1, 8.26, Some(9.55)),
+    (12, 98.0, 8.46, Some(11.38)),
+    (24, 99.3, 8.70, Some(11.64)),
+    (28, 98.8, 11.62, Some(15.74)),
+    (48, 97.8, 11.28, None),
+    (72, 99.7, 14.45, None),
+    (96, 99.5, 16.04, None),
+];
+
+/// Table 2 (Mackey-Glass): horizon, % prediction, rule-system NMSE, and the
+/// comparator NMSE (MRAN for τ=50, RAN for τ=85).
+pub const TABLE2_MACKEY: &[(usize, f64, f64, f64, &str)] = &[
+    (50, 78.9, 0.025, 0.040, "MRAN"),
+    (85, 78.2, 0.046, 0.050, "RAN"),
+];
+
+/// Table 3 (sunspots): horizon, % prediction, rule-system error, feedforward
+/// NN error, recurrent NN error (the paper's half-MSE measure on `[0,1]` data).
+pub const TABLE3_SUNSPOT: &[(usize, f64, f64, f64, f64)] = &[
+    (1, 100.0, 0.00228, 0.00511, 0.00511),
+    (4, 97.6, 0.00351, 0.00965, 0.00838),
+    (8, 95.2, 0.00377, 0.01177, 0.00781),
+    (12, 100.0, 0.00642, 0.01587, 0.01080),
+    (18, 99.8, 0.01021, 0.02570, 0.01464),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_shape() {
+        assert_eq!(TABLE1_VENICE.len(), 8);
+        let horizons: Vec<usize> = TABLE1_VENICE.iter().map(|r| r.0).collect();
+        assert_eq!(horizons, vec![1, 4, 12, 24, 28, 48, 72, 96]);
+        // The paper's headline: RS beats NN for every horizon > 1 where NN
+        // results exist.
+        for &(h, _, rs, nn) in TABLE1_VENICE {
+            if let Some(nn) = nn {
+                if h > 1 {
+                    assert!(rs < nn, "paper has RS < NN at τ={h}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table2_shape() {
+        assert_eq!(TABLE2_MACKEY.len(), 2);
+        for &(_, pct, rs, other, _) in TABLE2_MACKEY {
+            assert!(rs < other, "paper has RS beating the comparator");
+            assert!((70.0..90.0).contains(&pct));
+        }
+    }
+
+    #[test]
+    fn table3_shape() {
+        assert_eq!(TABLE3_SUNSPOT.len(), 5);
+        for &(_, _, rs, ff, rec) in TABLE3_SUNSPOT {
+            assert!(rs < ff && rs < rec, "paper has RS beating both NNs");
+        }
+        // Error grows with horizon for every system.
+        for w in TABLE3_SUNSPOT.windows(2) {
+            assert!(w[1].2 > w[0].2);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Command-line interface library.
+//!
+//! All functionality lives here (parsing, command execution) so it is unit
+//! testable; `main.rs` is a thin shim. Argument parsing is hand-rolled over
+//! `--key value` pairs — no external CLI dependency.
+//!
+//! ```text
+//! evoforecast-cli generate --series venice --n 8000 --seed 7 --out tides.csv
+//! evoforecast-cli train    --data tides.csv --window 24 --horizon 4 \
+//!                      --generations 6000 --population 50 --executions 4 \
+//!                      --seed 11 --out model.json
+//! evoforecast-cli evaluate --model model.json --data tides.csv --from 6000
+//! evoforecast-cli predict  --model model.json --data tides.csv
+//! evoforecast-cli analyze  --model model.json --data tides.csv
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+pub mod experiment;
+
+pub use args::{Args, CliError};
+
+/// Entry point shared by `main.rs` and tests: dispatch on the subcommand,
+/// writing human-readable output to `out`.
+///
+/// # Errors
+/// [`CliError`] for usage problems, I/O failures, or training errors.
+pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError> {
+    let (command, args) = args::parse(argv)?;
+    match command.as_str() {
+        "generate" => commands::generate(&args, out),
+        "train" => commands::train(&args, out),
+        "evaluate" => commands::evaluate(&args, out),
+        "predict" => commands::predict(&args, out),
+        "freerun" => commands::freerun(&args, out),
+        "experiment" => commands::experiment(&args, out),
+        "spectrum" => commands::spectrum(&args, out),
+        "analyze" => commands::analyze(&args, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{}", commands::USAGE).map_err(CliError::from)
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}; try `evoforecast help`"
+        ))),
+    }
+}

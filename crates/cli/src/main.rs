@@ -1,0 +1,13 @@
+//! `evoforecast` binary — thin shim over the library in `lib.rs`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    if let Err(e) = evoforecast_cli::run(&argv, &mut stdout) {
+        eprintln!("{e}");
+        std::process::exit(match e {
+            evoforecast_cli::CliError::Usage(_) => 2,
+            _ => 1,
+        });
+    }
+}

@@ -1,0 +1,136 @@
+//! Uniform crossover of conditional parts (§3.1).
+//!
+//! "For each i < D the offspring can inherit two genes (one from each
+//! parent) with the same probability." The predicting part `(p, e)` is *not*
+//! inherited — the engine re-derives it by regression over the offspring's
+//! matched windows.
+
+use crate::rule::{Condition, Gene};
+use rand::Rng;
+
+/// Produce one offspring condition by uniform gene-wise inheritance.
+///
+/// # Panics
+/// Panics when the parents have different window lengths — impossible within
+/// one run, so this is an internal invariant.
+pub fn uniform<R: Rng>(a: &Condition, b: &Condition, rng: &mut R) -> Condition {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "crossover requires equal-length conditions"
+    );
+    let genes: Vec<Gene> = a
+        .genes()
+        .iter()
+        .zip(b.genes().iter())
+        .map(|(&ga, &gb)| if rng.gen::<bool>() { ga } else { gb })
+        .collect();
+    Condition::new(genes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn parent_a() -> Condition {
+        // The paper's Parent A: (50,100, 40,90, -10,5, *, 1,100)
+        Condition::new(vec![
+            Gene::bounded(50.0, 100.0),
+            Gene::bounded(40.0, 90.0),
+            Gene::bounded(-10.0, 5.0),
+            Gene::Wildcard,
+            Gene::bounded(1.0, 100.0),
+        ])
+    }
+
+    fn parent_b() -> Condition {
+        // The paper's Parent B: (60,90, 10,20, 15,30, 40,45, *)
+        Condition::new(vec![
+            Gene::bounded(60.0, 90.0),
+            Gene::bounded(10.0, 20.0),
+            Gene::bounded(15.0, 30.0),
+            Gene::bounded(40.0, 45.0),
+            Gene::Wildcard,
+        ])
+    }
+
+    #[test]
+    fn every_gene_comes_from_a_parent() {
+        let (a, b) = (parent_a(), parent_b());
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..100 {
+            let child = uniform(&a, &b, &mut rng);
+            assert_eq!(child.len(), a.len());
+            for (i, g) in child.genes().iter().enumerate() {
+                assert!(
+                    *g == a.genes()[i] || *g == b.genes()[i],
+                    "gene {i} from neither parent"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn both_parents_contribute_over_many_draws() {
+        let (a, b) = (parent_a(), parent_b());
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut from_a = 0usize;
+        let mut from_b = 0usize;
+        for _ in 0..400 {
+            let child = uniform(&a, &b, &mut rng);
+            for (i, g) in child.genes().iter().enumerate() {
+                // Positions where the parents differ are informative.
+                if a.genes()[i] != b.genes()[i] {
+                    if *g == a.genes()[i] {
+                        from_a += 1;
+                    } else {
+                        from_b += 1;
+                    }
+                }
+            }
+        }
+        let total = (from_a + from_b) as f64;
+        let frac_a = from_a as f64 / total;
+        assert!(
+            (0.42..0.58).contains(&frac_a),
+            "inheritance should be ~50/50, got {frac_a}"
+        );
+    }
+
+    #[test]
+    fn identical_parents_produce_clone() {
+        let a = parent_a();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let child = uniform(&a, &a, &mut rng);
+        assert_eq!(child, a);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, b) = (parent_a(), parent_b());
+        let c1 = uniform(&a, &b, &mut ChaCha8Rng::seed_from_u64(11));
+        let c2 = uniform(&a, &b, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_lengths_panic() {
+        let a = Condition::all_wildcards(3);
+        let b = Condition::all_wildcards(4);
+        uniform(&a, &b, &mut ChaCha8Rng::seed_from_u64(0));
+    }
+
+    proptest! {
+        #[test]
+        fn offspring_genes_always_well_formed(seed in 0u64..500) {
+            let (a, b) = (parent_a(), parent_b());
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let child = uniform(&a, &b, &mut rng);
+            prop_assert!(child.genes().iter().all(|g| g.is_well_formed()));
+        }
+    }
+}

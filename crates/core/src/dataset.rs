@@ -1,0 +1,201 @@
+//! The example-set abstraction.
+//!
+//! The paper closes by noting the method "can be generalized for any problem
+//! that requires a learning process based on examples" (§5). This trait is
+//! that generalization: the engine, initializer, matcher and regression only
+//! need *(feature vector, target)* pairs — windowed time series are one
+//! source ([`evoforecast_tsdata::window::WindowedDataset`] implements the
+//! trait), arbitrary tabular regression data ([`TabularExamples`]) is
+//! another.
+
+use crate::error::EvoError;
+use evoforecast_linalg::Matrix;
+use evoforecast_tsdata::window::WindowedDataset;
+
+/// A finite set of `(features, target)` regression examples.
+///
+/// `Sync` is required so rule matching can fan out across rayon workers.
+pub trait ExampleSet: Sync {
+    /// Number of examples.
+    fn len(&self) -> usize;
+
+    /// Dimensionality of the feature vectors (the rules' `D`).
+    fn feature_len(&self) -> usize;
+
+    /// Borrow the `i`-th feature vector.
+    fn features(&self, i: usize) -> &[f64];
+
+    /// The `i`-th target.
+    fn target(&self, i: usize) -> f64;
+
+    /// True when there are no examples.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Min/max over all feature values — drives mutation step sizes and the
+    /// random initializer. The default scans every example once.
+    fn feature_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for i in 0..self.len() {
+            for &x in self.features(i) {
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        if lo >= hi {
+            // Constant features: synthesize a unit-wide range so random
+            // intervals stay well-formed.
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+impl ExampleSet for WindowedDataset<'_> {
+    fn len(&self) -> usize {
+        WindowedDataset::len(self)
+    }
+
+    fn feature_len(&self) -> usize {
+        self.spec().window()
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        self.window(i)
+    }
+
+    fn target(&self, i: usize) -> f64 {
+        WindowedDataset::target(self, i)
+    }
+}
+
+/// Owned tabular regression examples: a dense feature matrix plus targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TabularExamples {
+    features: Matrix,
+    targets: Vec<f64>,
+}
+
+impl TabularExamples {
+    /// Build from a feature matrix (one example per row) and targets.
+    ///
+    /// # Errors
+    /// [`EvoError::InvalidConfig`] on shape mismatch, empty data, or
+    /// non-finite values.
+    pub fn new(features: Matrix, targets: Vec<f64>) -> Result<TabularExamples, EvoError> {
+        if features.rows() != targets.len() {
+            return Err(EvoError::InvalidConfig(format!(
+                "{} feature rows vs {} targets",
+                features.rows(),
+                targets.len()
+            )));
+        }
+        if features.rows() == 0 || features.cols() == 0 {
+            return Err(EvoError::InvalidConfig(
+                "tabular examples need at least one row and one column".into(),
+            ));
+        }
+        if !features.all_finite() || !targets.iter().all(|t| t.is_finite()) {
+            return Err(EvoError::InvalidConfig(
+                "tabular examples must be finite".into(),
+            ));
+        }
+        Ok(TabularExamples { features, targets })
+    }
+
+    /// Min/max of the targets (used to size `EMAX` and initializer bins).
+    pub fn target_range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &t in &self.targets {
+            lo = lo.min(t);
+            hi = hi.max(t);
+        }
+        (lo, hi)
+    }
+
+    /// Borrow the underlying feature matrix.
+    pub fn feature_matrix(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Borrow the targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+}
+
+impl ExampleSet for TabularExamples {
+    fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    fn feature_len(&self) -> usize {
+        self.features.cols()
+    }
+
+    fn features(&self, i: usize) -> &[f64] {
+        self.features.row(i)
+    }
+
+    fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoforecast_tsdata::window::WindowSpec;
+
+    #[test]
+    fn windowed_dataset_implements_example_set() {
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(3, 2).unwrap().dataset(&vals).unwrap();
+        assert_eq!(ExampleSet::len(&ds), 6); // 10 - (3 + 2 - 1)
+        assert_eq!(ds.feature_len(), 3);
+        assert_eq!(ExampleSet::features(&ds, 1), &[1.0, 2.0, 3.0]);
+        assert_eq!(ExampleSet::target(&ds, 1), 5.0);
+        let (lo, hi) = ds.feature_range();
+        assert_eq!((lo, hi), (0.0, 7.0)); // windows cover values 0..=7
+    }
+
+    #[test]
+    fn tabular_construction_validates() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert!(TabularExamples::new(m.clone(), vec![1.0]).is_err());
+        assert!(TabularExamples::new(Matrix::zeros(0, 2), vec![]).is_err());
+        assert!(TabularExamples::new(Matrix::zeros(2, 0), vec![1.0, 2.0]).is_err());
+        let mut bad = m.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(TabularExamples::new(bad, vec![1.0, 2.0]).is_err());
+        assert!(TabularExamples::new(m.clone(), vec![1.0, f64::INFINITY]).is_err());
+        assert!(TabularExamples::new(m, vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn tabular_accessors() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let t = TabularExamples::new(m, vec![10.0, 20.0, 30.0]).unwrap();
+        assert_eq!(ExampleSet::len(&t), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.feature_len(), 2);
+        assert_eq!(t.features(1), &[3.0, 4.0]);
+        assert_eq!(t.target(2), 30.0);
+        assert_eq!(t.feature_range(), (1.0, 6.0));
+        assert_eq!(t.target_range(), (10.0, 30.0));
+        assert_eq!(t.targets(), &[10.0, 20.0, 30.0]);
+        assert_eq!(t.feature_matrix().shape(), (3, 2));
+    }
+
+    #[test]
+    fn constant_feature_range_widened() {
+        let m = Matrix::from_rows(&[&[2.0], &[2.0]]);
+        let t = TabularExamples::new(m, vec![0.0, 1.0]).unwrap();
+        let (lo, hi) = t.feature_range();
+        assert!(lo < 2.0 && hi > 2.0);
+    }
+}

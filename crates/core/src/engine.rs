@@ -1,0 +1,595 @@
+//! The steady-state evolution engine (§3.3).
+//!
+//! Each generation: select two parents by 3-round tournament, produce *one*
+//! offspring by uniform crossover, mutate it, re-derive its predicting part
+//! by regression over the training windows it matches, then let it compete
+//! against the phenotypically nearest individual — it enters the population
+//! only if strictly fitter. The population after the final generation *is*
+//! the learned rule set (Michigan approach).
+
+use crate::config::EngineConfig;
+use crate::dataset::ExampleSet;
+use crate::error::EvoError;
+use crate::fitness::FitnessParams;
+use crate::matchindex::MatchIndex;
+use crate::population::{Individual, Population};
+use crate::regress::{fit_part, Evaluation};
+use crate::rule::{Condition, Rule};
+use crate::{crossover, init, mutation, parallel, replacement, selection};
+use evoforecast_linalg::regression::RegressionOptions;
+use evoforecast_tsdata::window::WindowedDataset;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Counters exposed for telemetry and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Steady-state generations executed.
+    pub generations: usize,
+    /// Offspring that entered the population.
+    pub replacements: usize,
+    /// Full offspring evaluations performed (match + regression).
+    pub evaluations: usize,
+}
+
+/// Early-stopping conditions for [`GenericEngine::run_until`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopConditions {
+    /// Hard generation cap (always enforced).
+    pub max_generations: usize,
+    /// Stop once training coverage (viable rules) reaches this fraction;
+    /// checked every [`StopConditions::check_every`] generations because the
+    /// coverage sweep costs `O(n · population)`.
+    pub target_coverage: Option<f64>,
+    /// Stop after this many consecutive generations without a replacement —
+    /// the steady-state loop has stagnated.
+    pub stagnation_window: Option<usize>,
+    /// Coverage-check cadence in generations.
+    pub check_every: usize,
+}
+
+impl StopConditions {
+    /// Only the generation cap.
+    pub fn generations(max_generations: usize) -> StopConditions {
+        StopConditions {
+            max_generations,
+            target_coverage: None,
+            stagnation_window: None,
+            check_every: 500,
+        }
+    }
+
+    /// Builder-style coverage target.
+    pub fn with_target_coverage(mut self, target: f64) -> Self {
+        self.target_coverage = Some(target);
+        self
+    }
+
+    /// Builder-style stagnation window.
+    pub fn with_stagnation_window(mut self, window: usize) -> Self {
+        self.stagnation_window = Some(window);
+        self
+    }
+}
+
+/// Why [`GenericEngine::run_until`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// The generation cap was reached.
+    MaxGenerations,
+    /// The training-coverage target was met.
+    CoverageReached,
+    /// No replacement for the configured window of generations.
+    Stagnated,
+}
+
+/// One evolution run over an arbitrary example set. The paper's setting is
+/// the windowed time series ([`Engine`]); the generic form also learns rules
+/// on tabular regression data ([`crate::dataset::TabularExamples`]) — the
+/// generalization the paper's conclusions point to.
+#[derive(Debug)]
+pub struct GenericEngine<E: ExampleSet> {
+    config: EngineConfig,
+    data: E,
+    index: Option<MatchIndex>,
+    population: Population,
+    rng: ChaCha8Rng,
+    stats: EngineStats,
+}
+
+/// The paper's engine: evolution over a windowed time series.
+pub type Engine<'a> = GenericEngine<WindowedDataset<'a>>;
+
+impl<'a> GenericEngine<WindowedDataset<'a>> {
+    /// Validate the configuration, window the training data, and build +
+    /// evaluate the initial population.
+    ///
+    /// # Errors
+    /// * [`EvoError::InvalidConfig`] from validation,
+    /// * [`EvoError::Data`] when the series is too short for the window spec.
+    pub fn new(config: EngineConfig, train: &'a [f64]) -> Result<Engine<'a>, EvoError> {
+        config.validate()?;
+        let data = config.window.dataset(train)?;
+        Self::from_examples(config, data)
+    }
+}
+
+impl<E: ExampleSet> GenericEngine<E> {
+    /// Build from an already-constructed example set (windowed or tabular).
+    ///
+    /// # Errors
+    /// [`EvoError::InvalidConfig`] from validation.
+    pub fn from_examples(config: EngineConfig, data: E) -> Result<GenericEngine<E>, EvoError> {
+        config.validate()?;
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let index = config.use_match_index.then(|| MatchIndex::build(&data));
+
+        let conditions = init::initialize(config.init, &data, config.population_size, &mut rng);
+        let mut stats = EngineStats::default();
+        let individuals = conditions
+            .into_iter()
+            .map(|c| {
+                stats.evaluations += 1;
+                evaluate_condition(
+                    c,
+                    &data,
+                    index.as_ref(),
+                    &config.fitness,
+                    config.parallel_threshold,
+                )
+            })
+            .collect();
+
+        Ok(GenericEngine {
+            config,
+            data,
+            index,
+            population: Population::new(individuals),
+            rng,
+            stats,
+        })
+    }
+
+    /// Run one steady-state generation. Returns whether the offspring
+    /// entered the population.
+    pub fn step(&mut self) -> bool {
+        let (ia, ib) =
+            selection::select_parents(&self.population, self.config.tournament_rounds, &mut self.rng);
+        let mut child = crossover::uniform(
+            &self.population.get(ia).rule.condition,
+            &self.population.get(ib).rule.condition,
+            &mut self.rng,
+        );
+        mutation::mutate(
+            &mut child,
+            &self.config.mutation,
+            self.config.value_range,
+            &mut self.rng,
+        );
+        let offspring = evaluate_condition(
+            child,
+            &self.data,
+            self.index.as_ref(),
+            &self.config.fitness,
+            self.config.parallel_threshold,
+        );
+        self.stats.evaluations += 1;
+
+        let victim = replacement::choose_victim(
+            self.config.replacement,
+            &self.population,
+            offspring.rule.prediction,
+            &mut self.rng,
+        );
+        let replaced = replacement::try_replace(&mut self.population, victim, offspring);
+
+        self.stats.generations += 1;
+        if replaced {
+            self.stats.replacements += 1;
+        }
+        replaced
+    }
+
+    /// Run the configured number of generations and return the final rule
+    /// set (a clone — the engine remains usable for further steps).
+    pub fn run(&mut self) -> Vec<Rule> {
+        for _ in 0..self.config.generations {
+            self.step();
+        }
+        self.population.rules()
+    }
+
+    /// Run with a progress callback invoked every `every` generations with
+    /// `(generation, best_fitness, mean_fitness)`.
+    pub fn run_with_progress<F>(&mut self, every: usize, mut progress: F) -> Vec<Rule>
+    where
+        F: FnMut(usize, f64, f64),
+    {
+        let every = every.max(1);
+        for g in 0..self.config.generations {
+            self.step();
+            if (g + 1) % every == 0 {
+                let best = self
+                    .population
+                    .best_index()
+                    .map(|i| self.population.get(i).fitness)
+                    .unwrap_or(f64::NEG_INFINITY);
+                let mean = self.population.mean_fitness().unwrap_or(f64::NEG_INFINITY);
+                progress(g + 1, best, mean);
+            }
+        }
+        self.population.rules()
+    }
+
+    /// Run until an early-stop condition fires or the generation cap is
+    /// reached; returns the rule set and the reason. Unlike
+    /// [`GenericEngine::run`], this does not consult `config.generations`.
+    pub fn run_until(&mut self, stop: StopConditions) -> (Vec<Rule>, StopReason) {
+        let check_every = stop.check_every.max(1);
+        let mut since_replacement = 0usize;
+        for g in 0..stop.max_generations {
+            if self.step() {
+                since_replacement = 0;
+            } else {
+                since_replacement += 1;
+            }
+            if let Some(window) = stop.stagnation_window {
+                if since_replacement >= window {
+                    return (self.population.rules(), StopReason::Stagnated);
+                }
+            }
+            if let Some(target) = stop.target_coverage {
+                if (g + 1) % check_every == 0 && self.training_coverage() >= target {
+                    return (self.population.rules(), StopReason::CoverageReached);
+                }
+            }
+        }
+        (self.population.rules(), StopReason::MaxGenerations)
+    }
+
+    /// The current population.
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Telemetry counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The run's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Fraction of training examples matched by at least one *viable* rule
+    /// (the coverage measure the ensemble stop-condition uses).
+    pub fn training_coverage(&self) -> f64 {
+        let rules = self.population.individuals();
+        let n = self.data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let covered = (0..n)
+            .filter(|&i| {
+                let w = self.data.features(i);
+                rules.iter().any(|ind| {
+                    !self.config.fitness.is_unfit(ind.fitness) && ind.rule.condition.matches(w)
+                })
+            })
+            .count();
+        covered as f64 / n as f64
+    }
+}
+
+/// Evaluate a condition into a fitness-scored individual: parallel matching,
+/// ridge-stabilized regression, the paper's fitness.
+fn evaluate_condition<E: ExampleSet>(
+    condition: Condition,
+    data: &E,
+    index: Option<&MatchIndex>,
+    fitness: &FitnessParams,
+    parallel_threshold: usize,
+) -> Individual {
+    let matched = match index {
+        Some(idx) => idx.match_indices_with_parallel_fallback(&condition, data, parallel_threshold),
+        None => parallel::match_indices(&condition, data, parallel_threshold),
+    };
+    let model = fit_part(&matched, data, RegressionOptions::fast());
+    let rule = Evaluation { matched, model }.into_rule(condition);
+    let fit = fitness.fitness(rule.matched, rule.error);
+    Individual { rule, fitness: fit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoforecast_tsdata::gen::waves::{noisy_sine, sine};
+    use evoforecast_tsdata::window::WindowSpec;
+
+    fn engine_on(values: &[f64], generations: usize, seed: u64) -> Engine<'_> {
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let config = EngineConfig::for_series(values, spec)
+            .with_population(30)
+            .with_generations(generations)
+            .with_seed(seed);
+        Engine::new(config, values).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_config_and_data() {
+        let vals: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let bad = EngineConfig::for_series(&vals, spec).with_population(1);
+        assert!(matches!(
+            Engine::new(bad, &vals),
+            Err(EvoError::InvalidConfig(_))
+        ));
+
+        let short = [1.0, 2.0];
+        let cfg = EngineConfig::for_series(&vals, spec);
+        assert!(matches!(Engine::new(cfg, &short), Err(EvoError::Data(_))));
+    }
+
+    #[test]
+    fn initial_population_is_full_and_evaluated() {
+        let series = sine(300, 25.0, 1.0, 0.0, 0.0);
+        let e = engine_on(series.values(), 0, 1);
+        assert_eq!(e.population().len(), 30);
+        assert_eq!(e.stats().evaluations, 30);
+        // Binned init on a smooth series: most rules must be viable.
+        let viable = e
+            .population()
+            .individuals()
+            .iter()
+            .filter(|ind| !e.config().fitness.is_unfit(ind.fitness))
+            .count();
+        assert!(viable > 15, "only {viable}/30 viable after init");
+    }
+
+    #[test]
+    fn step_counts_and_replacement_bookkeeping() {
+        let series = noisy_sine(400, 20.0, 1.0, 0.05, 3);
+        let mut e = engine_on(series.values(), 0, 2);
+        let mut replaced = 0;
+        for _ in 0..200 {
+            if e.step() {
+                replaced += 1;
+            }
+        }
+        let st = e.stats();
+        assert_eq!(st.generations, 200);
+        assert_eq!(st.replacements, replaced);
+        assert_eq!(st.evaluations, 30 + 200);
+    }
+
+    #[test]
+    fn evolution_does_not_regress_best_fitness() {
+        // Steady state with strict acceptance: the best fitness is
+        // non-decreasing... *except* the best individual itself can be
+        // crowd-replaced by a fitter neighbor. Track max over population —
+        // replacement only happens on strict improvement, so the population
+        // max never decreases.
+        let series = noisy_sine(500, 25.0, 1.0, 0.05, 5);
+        let mut e = engine_on(series.values(), 0, 7);
+        let best_of = |e: &Engine<'_>| {
+            e.population()
+                .best_index()
+                .map(|i| e.population().get(i).fitness)
+                .unwrap()
+        };
+        let mut prev = best_of(&e);
+        for _ in 0..300 {
+            e.step();
+            let now = best_of(&e);
+            assert!(now >= prev - 1e-9, "best fitness regressed {prev} -> {now}");
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn run_executes_configured_generations() {
+        let series = sine(300, 25.0, 1.0, 0.0, 0.0);
+        let mut e = engine_on(series.values(), 150, 4);
+        let rules = e.run();
+        assert_eq!(rules.len(), 30);
+        assert_eq!(e.stats().generations, 150);
+    }
+
+    #[test]
+    fn run_with_progress_fires_callback() {
+        let series = sine(300, 25.0, 1.0, 0.0, 0.0);
+        let mut e = engine_on(series.values(), 100, 5);
+        let mut calls = Vec::new();
+        e.run_with_progress(25, |g, best, mean| {
+            calls.push(g);
+            assert!(best >= mean, "best {best} < mean {mean}");
+        });
+        assert_eq!(calls, vec![25, 50, 75, 100]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let series = noisy_sine(400, 25.0, 1.0, 0.05, 9);
+        let run = |seed: u64| {
+            let mut e = engine_on(series.values(), 200, seed);
+            e.run()
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b, "same seed must reproduce the exact rule set");
+        let c = run(12);
+        assert_ne!(a, c, "different seeds should explore differently");
+    }
+
+    #[test]
+    fn match_index_does_not_change_results() {
+        let series = noisy_sine(800, 25.0, 1.0, 0.08, 41);
+        let spec = WindowSpec::new(6, 2).unwrap();
+        let base = EngineConfig::for_series(series.values(), spec)
+            .with_population(25)
+            .with_generations(400)
+            .with_seed(77);
+        let mut with_index = base.clone();
+        with_index.use_match_index = true;
+        let mut without_index = base;
+        without_index.use_match_index = false;
+        let a = Engine::new(with_index, series.values()).unwrap().run();
+        let b = Engine::new(without_index, series.values()).unwrap().run();
+        assert_eq!(a, b, "the index must be a pure acceleration");
+    }
+
+    #[test]
+    fn parallel_threshold_does_not_change_results() {
+        let series = noisy_sine(600, 25.0, 1.0, 0.05, 13);
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let base = EngineConfig::for_series(series.values(), spec)
+            .with_population(20)
+            .with_generations(100)
+            .with_seed(21);
+        let mut seq_cfg = base.clone();
+        seq_cfg.parallel_threshold = usize::MAX;
+        let mut par_cfg = base;
+        par_cfg.parallel_threshold = 1;
+
+        let seq_rules = Engine::new(seq_cfg, series.values()).unwrap().run();
+        let par_rules = Engine::new(par_cfg, series.values()).unwrap().run();
+        assert_eq!(seq_rules, par_rules);
+    }
+
+    #[test]
+    fn evolution_improves_noisy_series() {
+        // On a noisy series the initial binned rules are imperfect (noise
+        // inflates e_R past EMAX for broad rules), so evolution has room to
+        // work: viable-rule count and training coverage must both grow.
+        // (A *pure* sine is a ceiling case — init is already near-optimal
+        // and crossover of distant zones mostly yields dead offspring, so
+        // progress there needs the paper's 75k-generation budget.)
+        let series = noisy_sine(400, 25.0, 1.0, 0.1, 7);
+        let mut e = engine_on(series.values(), 0, 17);
+        let viable = |e: &Engine<'_>| {
+            e.population()
+                .individuals()
+                .iter()
+                .filter(|ind| !e.config().fitness.is_unfit(ind.fitness))
+                .count()
+        };
+        let viable_before = viable(&e);
+        let cov_before = e.training_coverage();
+        for _ in 0..2000 {
+            e.step();
+        }
+        let viable_after = viable(&e);
+        let cov_after = e.training_coverage();
+        assert!(
+            viable_after > viable_before,
+            "viable rules: {viable_before} -> {viable_after}"
+        );
+        assert!(
+            cov_after > cov_before,
+            "coverage: {cov_before} -> {cov_after}"
+        );
+        assert!(e.stats().replacements > 0);
+    }
+
+    #[test]
+    fn run_until_respects_generation_cap() {
+        let series = noisy_sine(300, 25.0, 1.0, 0.05, 31);
+        let mut e = engine_on(series.values(), 0, 31);
+        let (rules, reason) = e.run_until(StopConditions::generations(50));
+        assert_eq!(reason, StopReason::MaxGenerations);
+        assert_eq!(e.stats().generations, 50);
+        assert_eq!(rules.len(), 30);
+    }
+
+    #[test]
+    fn run_until_stops_on_trivial_coverage_target() {
+        let series = noisy_sine(300, 25.0, 1.0, 0.05, 33);
+        let mut e = engine_on(series.values(), 0, 33);
+        let stop = StopConditions {
+            max_generations: 10_000,
+            target_coverage: Some(0.01),
+            stagnation_window: None,
+            check_every: 10,
+        };
+        let (_, reason) = e.run_until(stop);
+        assert_eq!(reason, StopReason::CoverageReached);
+        assert!(e.stats().generations <= 10);
+    }
+
+    #[test]
+    fn run_until_detects_stagnation() {
+        // A pure sine with already-near-optimal init stagnates quickly (the
+        // ceiling case documented in evolution_improves_noisy_series).
+        let series = sine(300, 25.0, 1.0, 0.0, 0.0);
+        let mut e = engine_on(series.values(), 0, 35);
+        let stop = StopConditions::generations(50_000).with_stagnation_window(200);
+        let (_, reason) = e.run_until(stop);
+        assert_eq!(reason, StopReason::Stagnated);
+        assert!(
+            e.stats().generations < 50_000,
+            "stagnation should fire well before the cap"
+        );
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(16))]
+            #[test]
+            fn engine_never_panics_and_keeps_invariants(
+                seed in 0u64..1000,
+                n in 40usize..120,
+                d in 1usize..5,
+                tau in 1usize..3,
+                pop in 2usize..12,
+                per_gene in 0.0..1.0f64,
+                steps in 0usize..60,
+            ) {
+                prop_assume!(n > d + tau + 5);
+                let series = noisy_sine(n, 13.0, 1.0, 0.1, seed);
+                let spec = WindowSpec::new(d, tau).unwrap();
+                let mut config = EngineConfig::for_series(series.values(), spec)
+                    .with_population(pop)
+                    .with_seed(seed);
+                config.mutation.per_gene_probability = per_gene;
+                config.parallel_threshold = usize::MAX; // keep proptest cheap
+                let mut engine = Engine::new(config, series.values()).unwrap();
+                for _ in 0..steps {
+                    engine.step();
+                }
+                let population = engine.population();
+                // Invariants: size constant, every rule well-formed with the
+                // right window length, finite parameters, fitness consistent
+                // with the rule's (matched, error).
+                prop_assert_eq!(population.len(), pop);
+                for ind in population.individuals() {
+                    prop_assert_eq!(ind.rule.window_len(), d);
+                    prop_assert!(ind.rule.condition.genes().iter().all(|g| g.is_well_formed()));
+                    prop_assert!(ind.rule.coefficients.iter().all(|c| c.is_finite()));
+                    prop_assert!(ind.rule.intercept.is_finite());
+                    let expected = engine
+                        .config()
+                        .fitness
+                        .fitness(ind.rule.matched, ind.rule.error);
+                    prop_assert_eq!(ind.fitness, expected);
+                }
+                let cov = engine.training_coverage();
+                prop_assert!((0.0..=1.0).contains(&cov));
+            }
+        }
+    }
+
+    #[test]
+    fn training_coverage_reasonable_after_binned_init() {
+        let series = noisy_sine(400, 25.0, 1.0, 0.05, 23);
+        let e = engine_on(series.values(), 0, 23);
+        let cov = e.training_coverage();
+        // Binned init covers every training window whose rule is viable;
+        // a smooth noisy sine keeps most rules viable.
+        assert!(cov > 0.5, "coverage after init only {cov}");
+        assert!(cov <= 1.0);
+    }
+}

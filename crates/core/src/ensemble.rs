@@ -1,0 +1,336 @@
+//! Multi-execution accumulation (§3.4).
+//!
+//! "After each execution the solutions obtained at the end of the process
+//! are added to the obtained in previous executions. The number of executions
+//! is determined by the percentage of the search space covered by the rules."
+//!
+//! Executions are independent (different seeds), so they run on parallel
+//! worker threads; rule sets merge in seed order, which keeps the final
+//! predictor identical whether runs execute in parallel or sequentially.
+//! Executions proceed in fixed-size waves of [`WAVE_SIZE`] so the
+//! early-stopping decision (and therefore the result) does not depend on the
+//! machine's core count.
+
+use crate::config::EnsembleConfig;
+use crate::engine::Engine;
+use crate::error::EvoError;
+use crate::predict::RuleSetPredictor;
+use crate::rule::Rule;
+use crossbeam::channel::Sender;
+use rayon::prelude::*;
+
+/// Progress event emitted as each execution finishes (possibly from a rayon
+/// worker thread — receive on any thread via a crossbeam channel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecutionEvent {
+    /// Zero-based execution number.
+    pub execution: usize,
+    /// The execution's RNG seed.
+    pub seed: u64,
+    /// Rules in the execution's final population.
+    pub rules: usize,
+    /// Steady-state replacements the execution accepted.
+    pub replacements: usize,
+}
+
+/// Executions launched per coverage check.
+pub const WAVE_SIZE: usize = 4;
+
+/// Summary of an ensemble training run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleReport {
+    /// Executions actually performed.
+    pub executions: usize,
+    /// Training coverage of the final merged rule set.
+    pub training_coverage: f64,
+    /// Whether the coverage target was reached (vs. hitting the cap).
+    pub target_reached: bool,
+}
+
+/// Runs several evolution executions and unions their rule sets.
+///
+/// ```
+/// use evoforecast_core::prelude::*;
+/// use evoforecast_tsdata::gen::waves::noisy_sine;
+/// use evoforecast_tsdata::window::WindowSpec;
+///
+/// let series = noisy_sine(400, 20.0, 1.0, 0.05, 1);
+/// let spec = WindowSpec::new(3, 1).unwrap();
+/// let engine = EngineConfig::for_series(series.values(), spec)
+///     .with_population(15)
+///     .with_generations(300);
+/// let config = EnsembleConfig::new(engine).with_max_executions(2);
+/// let (predictor, report) = EnsembleTrainer::new(config)
+///     .unwrap()
+///     .run(series.values())
+///     .unwrap();
+/// assert!(report.executions >= 1);
+/// assert!(!predictor.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EnsembleTrainer {
+    config: EnsembleConfig,
+}
+
+impl EnsembleTrainer {
+    /// Validate and store the configuration.
+    ///
+    /// # Errors
+    /// [`EvoError::InvalidConfig`] from validation.
+    pub fn new(config: EnsembleConfig) -> Result<EnsembleTrainer, EvoError> {
+        config.validate()?;
+        Ok(EnsembleTrainer { config })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EnsembleConfig {
+        &self.config
+    }
+
+    /// Train on a series, accumulating executions until the coverage target
+    /// or the execution cap is reached.
+    ///
+    /// # Errors
+    /// [`EvoError::Data`] when the series is too short for the window spec;
+    /// any engine-construction error from an execution.
+    pub fn run(&self, train: &[f64]) -> Result<(RuleSetPredictor, EnsembleReport), EvoError> {
+        self.run_impl(train, None)
+    }
+
+    /// Like [`EnsembleTrainer::run`], but emits one [`ExecutionEvent`] per
+    /// finished execution on the given crossbeam channel — events arrive
+    /// from rayon worker threads as parallel executions complete, so a UI
+    /// thread can show live progress. A disconnected receiver is ignored.
+    ///
+    /// # Errors
+    /// Same as [`EnsembleTrainer::run`].
+    pub fn run_with_events(
+        &self,
+        train: &[f64],
+        events: Sender<ExecutionEvent>,
+    ) -> Result<(RuleSetPredictor, EnsembleReport), EvoError> {
+        self.run_impl(train, Some(events))
+    }
+
+    fn run_impl(
+        &self,
+        train: &[f64],
+        events: Option<Sender<ExecutionEvent>>,
+    ) -> Result<(RuleSetPredictor, EnsembleReport), EvoError> {
+        let data = self.config.engine.window.dataset(train)?;
+        let mut predictor = RuleSetPredictor::new(Vec::new());
+        let mut executions = 0usize;
+        let mut coverage = 0.0;
+
+        while executions < self.config.max_executions {
+            let wave = WAVE_SIZE.min(self.config.max_executions - executions);
+            let seeds: Vec<u64> = (0..wave)
+                .map(|k| self.config.engine.seed.wrapping_add((executions + k) as u64))
+                .collect();
+
+            let rule_sets: Vec<Result<Vec<Rule>, EvoError>> = if self.config.parallel_runs {
+                seeds
+                    .par_iter()
+                    .enumerate()
+                    .map(|(k, &seed)| {
+                        self.one_execution(train, seed, executions + k, events.as_ref())
+                    })
+                    .collect()
+            } else {
+                seeds
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &seed)| {
+                        self.one_execution(train, seed, executions + k, events.as_ref())
+                    })
+                    .collect()
+            };
+
+            for rs in rule_sets {
+                // Rules whose expected error reached EMAX were assigned
+                // f_min by the fitness function — they are not part of the
+                // solution, so they must not contribute to predictions.
+                let viable =
+                    RuleSetPredictor::new(rs?).filter_by_error(self.config.engine.fitness.emax);
+                predictor.merge(viable);
+            }
+            executions += wave;
+
+            coverage = predictor.coverage(&data);
+            if coverage >= self.config.coverage_target {
+                return Ok((
+                    predictor,
+                    EnsembleReport {
+                        executions,
+                        training_coverage: coverage,
+                        target_reached: true,
+                    },
+                ));
+            }
+        }
+
+        Ok((
+            predictor,
+            EnsembleReport {
+                executions,
+                training_coverage: coverage,
+                target_reached: coverage >= self.config.coverage_target,
+            },
+        ))
+    }
+
+    fn one_execution(
+        &self,
+        train: &[f64],
+        seed: u64,
+        execution: usize,
+        events: Option<&Sender<ExecutionEvent>>,
+    ) -> Result<Vec<Rule>, EvoError> {
+        let cfg = self.config.engine.clone().with_seed(seed);
+        let mut engine = Engine::new(cfg, train)?;
+        let rules = engine.run();
+        if let Some(tx) = events {
+            // A dropped receiver just means nobody is watching.
+            let _ = tx.send(ExecutionEvent {
+                execution,
+                seed,
+                rules: rules.len(),
+                replacements: engine.stats().replacements,
+            });
+        }
+        Ok(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EngineConfig;
+    use evoforecast_tsdata::gen::waves::noisy_sine;
+    use evoforecast_tsdata::window::WindowSpec;
+
+    fn quick_config(values: &[f64]) -> EnsembleConfig {
+        let spec = WindowSpec::new(3, 1).unwrap();
+        let engine = EngineConfig::for_series(values, spec)
+            .with_population(20)
+            .with_generations(150)
+            .with_seed(100);
+        EnsembleConfig::new(engine)
+            .with_max_executions(3)
+            .with_coverage_target(0.999)
+    }
+
+    #[test]
+    fn validates_config() {
+        let series = noisy_sine(200, 20.0, 1.0, 0.05, 1);
+        let bad = quick_config(series.values()).with_max_executions(0);
+        assert!(EnsembleTrainer::new(bad).is_err());
+    }
+
+    #[test]
+    fn accumulates_rules_across_executions() {
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 2);
+        let cfg = quick_config(series.values());
+        let trainer = EnsembleTrainer::new(cfg).unwrap();
+        let (predictor, report) = trainer.run(series.values()).unwrap();
+        assert!(report.executions >= 1 && report.executions <= 3);
+        // Union of viable rules from all executions: strictly more rules
+        // than one population can hold (20) unless stopping after one wave.
+        assert!(!predictor.is_empty());
+        assert!(report.training_coverage > 0.5);
+    }
+
+    #[test]
+    fn stops_early_when_target_met() {
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 3);
+        // Trivial target: first wave must satisfy it.
+        let cfg = quick_config(series.values()).with_coverage_target(0.01);
+        let trainer = EnsembleTrainer::new(cfg).unwrap();
+        let (_, report) = trainer.run(series.values()).unwrap();
+        assert!(report.target_reached);
+        assert!(report.executions <= WAVE_SIZE);
+    }
+
+    #[test]
+    fn parallel_and_sequential_produce_identical_predictors() {
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 4);
+        let base = quick_config(series.values());
+
+        let mut seq_cfg = base.clone();
+        seq_cfg.parallel_runs = false;
+        let mut par_cfg = base;
+        par_cfg.parallel_runs = true;
+
+        let (seq, seq_rep) = EnsembleTrainer::new(seq_cfg)
+            .unwrap()
+            .run(series.values())
+            .unwrap();
+        let (par, par_rep) = EnsembleTrainer::new(par_cfg)
+            .unwrap()
+            .run(series.values())
+            .unwrap();
+        assert_eq!(seq.rules(), par.rules());
+        assert_eq!(seq_rep, par_rep);
+    }
+
+    #[test]
+    fn coverage_grows_with_more_executions() {
+        let series = noisy_sine(400, 20.0, 1.0, 0.1, 5);
+        let run_with = |n: usize| {
+            let cfg = quick_config(series.values())
+                .with_max_executions(n)
+                .with_coverage_target(1.1_f64.min(1.0)); // unreachable target
+            let cfg = EnsembleConfig {
+                coverage_target: 1.0,
+                ..cfg
+            };
+            let (p, r) = EnsembleTrainer::new(cfg)
+                .unwrap()
+                .run(series.values())
+                .unwrap();
+            (p.len(), r.training_coverage)
+        };
+        let (rules_1, cov_1) = run_with(1);
+        let (rules_3, cov_3) = run_with(3);
+        assert!(rules_3 >= rules_1);
+        assert!(cov_3 >= cov_1 - 1e-12, "coverage shrank: {cov_1} -> {cov_3}");
+    }
+
+    #[test]
+    fn events_arrive_for_every_execution() {
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 8);
+        let cfg = quick_config(series.values()).with_max_executions(3);
+        let trainer = EnsembleTrainer::new(cfg).unwrap();
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let (_, report) = trainer.run_with_events(series.values(), tx).unwrap();
+        let mut events: Vec<ExecutionEvent> = rx.try_iter().collect();
+        assert_eq!(events.len(), report.executions);
+        events.sort_by_key(|e| e.execution);
+        for (k, e) in events.iter().enumerate() {
+            assert_eq!(e.execution, k);
+            assert_eq!(e.rules, 20); // population size
+        }
+        // Seeds are distinct per execution.
+        let mut seeds: Vec<u64> = events.iter().map(|e| e.seed).collect();
+        seeds.dedup();
+        assert_eq!(seeds.len(), events.len());
+    }
+
+    #[test]
+    fn dropped_receiver_does_not_fail_the_run() {
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 9);
+        let cfg = quick_config(series.values()).with_max_executions(1);
+        let trainer = EnsembleTrainer::new(cfg).unwrap();
+        let (tx, rx) = crossbeam::channel::unbounded::<ExecutionEvent>();
+        drop(rx);
+        assert!(trainer.run_with_events(series.values(), tx).is_ok());
+    }
+
+    #[test]
+    fn too_short_series_is_data_error() {
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 6);
+        let cfg = quick_config(series.values());
+        let trainer = EnsembleTrainer::new(cfg).unwrap();
+        assert!(matches!(trainer.run(&[1.0, 2.0]), Err(EvoError::Data(_))));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the evolutionary rule system.
+
+use evoforecast_linalg::LinalgError;
+use evoforecast_tsdata::DataError;
+use std::fmt;
+
+/// Errors produced when configuring or running the rule system.
+#[derive(Debug)]
+pub enum EvoError {
+    /// Invalid configuration (zero population, bad probabilities, ...).
+    InvalidConfig(String),
+    /// A data/windowing problem from the substrate.
+    Data(DataError),
+    /// A linear-algebra failure that could not be recovered by the ridge
+    /// fallback (should be rare).
+    Linalg(LinalgError),
+    /// The initializer produced no viable rules (e.g. constant series).
+    EmptyInitialization,
+}
+
+impl fmt::Display for EvoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvoError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EvoError::Data(e) => write!(f, "data error: {e}"),
+            EvoError::Linalg(e) => write!(f, "linear algebra error: {e}"),
+            EvoError::EmptyInitialization => {
+                write!(f, "initialization produced no viable rules")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EvoError::Data(e) => Some(e),
+            EvoError::Linalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DataError> for EvoError {
+    fn from(e: DataError) -> Self {
+        EvoError::Data(e)
+    }
+}
+
+impl From<LinalgError> for EvoError {
+    fn from(e: LinalgError) -> Self {
+        EvoError::Linalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(EvoError::InvalidConfig("pop=0".into())
+            .to_string()
+            .contains("pop=0"));
+        assert!(EvoError::EmptyInitialization.to_string().contains("no viable"));
+        let d: EvoError = DataError::EmptySeries.into();
+        assert!(d.to_string().contains("data error"));
+        let l: EvoError = LinalgError::Singular.into();
+        assert!(l.to_string().contains("linear algebra"));
+    }
+
+    #[test]
+    fn sources_wired() {
+        use std::error::Error;
+        let d: EvoError = DataError::EmptySeries.into();
+        assert!(d.source().is_some());
+        assert!(EvoError::EmptyInitialization.source().is_none());
+    }
+}

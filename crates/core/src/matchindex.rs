@@ -1,0 +1,269 @@
+//! Sorted-projection index for rule matching.
+//!
+//! Matching a condition against the training set is the engine's hottest
+//! loop: `O(N·D)` per offspring, once per generation. Most *evolved* rules
+//! are selective — some bounded gene admits only a small slice of the data —
+//! so a per-position sorted projection lets us binary-search that gene's
+//! interval and verify only the candidates:
+//!
+//! * **build** (once per run): sort `(value, window)` pairs per position —
+//!   `O(D · N log N)`,
+//! * **query** (per offspring): estimate each bounded gene's selectivity by
+//!   two binary searches, scan only the most selective gene's candidate
+//!   range, verify the full condition on each candidate — `O(D log N + K·D)`
+//!   for `K` candidates.
+//!
+//! Broad conditions (best selectivity worse than [`SCAN_FRACTION`] of the
+//! data) fall back to the plain linear scan, which is faster there and
+//! keeps the worst case unchanged. Results are always sorted ascending and
+//! bit-identical to the scan — the tests pin that.
+
+use crate::dataset::ExampleSet;
+use crate::rule::{Condition, Gene};
+
+/// Fall back to a linear scan when the most selective gene still admits
+/// more than this fraction of the windows.
+pub const SCAN_FRACTION: f64 = 0.5;
+
+/// Per-position sorted projections of an example set.
+#[derive(Debug, Clone)]
+pub struct MatchIndex {
+    /// `projections[p]` = `(value at position p, window id)` sorted by value.
+    projections: Vec<Vec<(f64, u32)>>,
+    examples: usize,
+}
+
+impl MatchIndex {
+    /// Build the index. `O(D · N log N)`; windows must fit in `u32`
+    /// (4 × 10⁹ — far beyond any series here).
+    ///
+    /// # Panics
+    /// Panics when the dataset exceeds `u32::MAX` examples.
+    pub fn build<E: ExampleSet>(data: &E) -> MatchIndex {
+        let n = data.len();
+        assert!(u32::try_from(n).is_ok(), "dataset too large for the index");
+        let d = data.feature_len();
+        let mut projections = Vec::with_capacity(d);
+        for p in 0..d {
+            let mut column: Vec<(f64, u32)> = (0..n)
+                .map(|i| (data.features(i)[p], i as u32))
+                .collect();
+            column.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            projections.push(column);
+        }
+        MatchIndex {
+            projections,
+            examples: n,
+        }
+    }
+
+    /// Number of indexed examples.
+    pub fn len(&self) -> usize {
+        self.examples
+    }
+
+    /// True when the index covers no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples == 0
+    }
+
+    /// Candidate range `[lo, hi)` in the position-`p` projection for values
+    /// inside `[lo_v, hi_v]`.
+    fn range_of(&self, p: usize, lo_v: f64, hi_v: f64) -> (usize, usize) {
+        let column = &self.projections[p];
+        let start = column.partition_point(|&(v, _)| v < lo_v);
+        let end = column.partition_point(|&(v, _)| v <= hi_v);
+        (start, end)
+    }
+
+    /// Indices of the examples matched by `condition`, ascending — identical
+    /// to a full scan, computed via the most selective bounded gene when one
+    /// is selective enough.
+    ///
+    /// # Panics
+    /// Panics in debug builds when the condition length differs from the
+    /// indexed feature length.
+    pub fn match_indices<E: ExampleSet>(&self, condition: &Condition, data: &E) -> Vec<usize> {
+        debug_assert_eq!(condition.len(), self.projections.len());
+        debug_assert_eq!(data.len(), self.examples);
+
+        // Find the most selective bounded gene: (candidate count, position,
+        // candidate range).
+        struct BestGene {
+            count: usize,
+            position: usize,
+            range: (usize, usize),
+        }
+        let mut best: Option<BestGene> = None;
+        for (p, gene) in condition.genes().iter().enumerate() {
+            if let Gene::Bounded { lo, hi } = *gene {
+                let range = self.range_of(p, lo, hi);
+                let count = range.1 - range.0;
+                if best.as_ref().is_none_or(|b| count < b.count) {
+                    best = Some(BestGene {
+                        count,
+                        position: p,
+                        range,
+                    });
+                }
+            }
+        }
+
+        match best {
+            Some(b) if (b.count as f64) < SCAN_FRACTION * self.examples as f64 => {
+                let column = &self.projections[b.position];
+                let mut out: Vec<usize> = column[b.range.0..b.range.1]
+                    .iter()
+                    .map(|&(_, id)| id as usize)
+                    .filter(|&i| condition.matches(data.features(i)))
+                    .collect();
+                out.sort_unstable();
+                out
+            }
+            // All-wildcard or broad condition: plain scan.
+            _ => (0..self.examples)
+                .filter(|&i| condition.matches(data.features(i)))
+                .collect(),
+        }
+    }
+
+    /// Like [`MatchIndex::match_indices`], but broad conditions fall back to
+    /// the (possibly rayon-parallel) scan of [`crate::parallel`] instead of
+    /// a sequential one — the right default inside the engine, where large
+    /// datasets and broad early-generation rules coexist.
+    pub fn match_indices_with_parallel_fallback<E: ExampleSet>(
+        &self,
+        condition: &Condition,
+        data: &E,
+        parallel_threshold: usize,
+    ) -> Vec<usize> {
+        // Re-run the selectivity probe; cheap (two binary searches per gene).
+        let mut best_count = usize::MAX;
+        let mut found_bounded = false;
+        for (p, gene) in condition.genes().iter().enumerate() {
+            if let Gene::Bounded { lo, hi } = *gene {
+                found_bounded = true;
+                let (start, end) = self.range_of(p, lo, hi);
+                best_count = best_count.min(end - start);
+            }
+        }
+        if found_bounded && (best_count as f64) < SCAN_FRACTION * self.examples as f64 {
+            self.match_indices(condition, data)
+        } else {
+            crate::parallel::match_indices(condition, data, parallel_threshold)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel;
+    use evoforecast_tsdata::gen::venice::VeniceTide;
+    use evoforecast_tsdata::window::WindowSpec;
+    use proptest::prelude::*;
+
+    fn venice_windows(n: usize) -> (Vec<f64>, WindowSpec) {
+        let series = VeniceTide::default().generate(n, 5).into_values();
+        (series, WindowSpec::new(6, 1).unwrap())
+    }
+
+    #[test]
+    fn index_matches_scan_on_selective_condition() {
+        let (values, spec) = venice_windows(5_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let cond = Condition::new(vec![
+            Gene::bounded(60.0, 80.0), // selective: high tide band
+            Gene::Wildcard,
+            Gene::bounded(-100.0, 200.0), // broad
+            Gene::Wildcard,
+            Gene::Wildcard,
+            Gene::bounded(50.0, 90.0),
+        ]);
+        let via_index = index.match_indices(&cond, &ds);
+        let via_scan = parallel::match_indices(&cond, &ds, usize::MAX);
+        assert_eq!(via_index, via_scan);
+        assert!(!via_index.is_empty(), "band should match something");
+    }
+
+    #[test]
+    fn index_matches_scan_on_broad_and_wildcard_conditions() {
+        let (values, spec) = venice_windows(2_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        for cond in [
+            Condition::all_wildcards(6),
+            Condition::new(vec![
+                Gene::bounded(-1000.0, 1000.0),
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+            ]),
+        ] {
+            let via_index = index.match_indices(&cond, &ds);
+            let via_scan = parallel::match_indices(&cond, &ds, usize::MAX);
+            assert_eq!(via_index, via_scan);
+            assert_eq!(via_index.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn empty_interval_matches_nothing() {
+        let (values, spec) = venice_windows(1_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let cond = Condition::new(vec![
+            Gene::bounded(1e6, 2e6),
+            Gene::Wildcard,
+            Gene::Wildcard,
+            Gene::Wildcard,
+            Gene::Wildcard,
+            Gene::Wildcard,
+        ]);
+        assert!(index.match_indices(&cond, &ds).is_empty());
+    }
+
+    #[test]
+    fn boundary_values_included() {
+        // Ramp windows: interval [3, 5] on position 0 matches windows 3..=5.
+        let values: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let spec = WindowSpec::new(2, 1).unwrap();
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let cond = Condition::new(vec![Gene::bounded(3.0, 5.0), Gene::Wildcard]);
+        assert_eq!(index.match_indices(&cond, &ds), vec![3, 4, 5]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn index_always_agrees_with_scan(
+            seed in 0u64..500,
+            genes in proptest::collection::vec(
+                proptest::option::of((-80.0..120.0f64, 0.1..80.0f64)),
+                3..=3,
+            ),
+        ) {
+            let series = VeniceTide::default().generate(800, seed).into_values();
+            let spec = WindowSpec::new(3, 1).unwrap();
+            let ds = spec.dataset(&series).unwrap();
+            let index = MatchIndex::build(&ds);
+            let cond = Condition::new(
+                genes
+                    .iter()
+                    .map(|g| match g {
+                        Some((lo, width)) => Gene::bounded(*lo, lo + width),
+                        None => Gene::Wildcard,
+                    })
+                    .collect(),
+            );
+            prop_assert_eq!(
+                index.match_indices(&cond, &ds),
+                parallel::match_indices(&cond, &ds, usize::MAX)
+            );
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Population container.
+//!
+//! In the Michigan approach the population *is* the solution, so the
+//! container keeps every individual's derived rule and cached fitness
+//! together; steady-state evolution replaces at most one slot per
+//! generation, so fitness is computed exactly once per individual.
+
+use crate::rule::Rule;
+
+/// One population slot: a rule plus its cached fitness.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Individual {
+    /// The rule (condition + derived predicting part).
+    pub rule: Rule,
+    /// Cached fitness under the run's [`crate::fitness::FitnessParams`].
+    pub fitness: f64,
+}
+
+/// A fixed-capacity population of evaluated individuals.
+#[derive(Debug, Clone, Default)]
+pub struct Population {
+    individuals: Vec<Individual>,
+}
+
+impl Population {
+    /// Build from evaluated individuals.
+    pub fn new(individuals: Vec<Individual>) -> Population {
+        Population { individuals }
+    }
+
+    /// Number of individuals.
+    pub fn len(&self) -> usize {
+        self.individuals.len()
+    }
+
+    /// Is the population empty?
+    pub fn is_empty(&self) -> bool {
+        self.individuals.is_empty()
+    }
+
+    /// Borrow all individuals.
+    pub fn individuals(&self) -> &[Individual] {
+        &self.individuals
+    }
+
+    /// Borrow one individual.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn get(&self, i: usize) -> &Individual {
+        &self.individuals[i]
+    }
+
+    /// Replace slot `i` with a new individual (steady-state update).
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    pub fn replace(&mut self, i: usize, individual: Individual) {
+        self.individuals[i] = individual;
+    }
+
+    /// Index of the best-fitness individual; `None` when empty.
+    pub fn best_index(&self) -> Option<usize> {
+        self.individuals
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.fitness.total_cmp(&b.1.fitness))
+            .map(|(i, _)| i)
+    }
+
+    /// Index of the worst-fitness individual; `None` when empty.
+    pub fn worst_index(&self) -> Option<usize> {
+        self.individuals
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.fitness.total_cmp(&b.1.fitness))
+            .map(|(i, _)| i)
+    }
+
+    /// Mean fitness; `None` when empty.
+    pub fn mean_fitness(&self) -> Option<f64> {
+        if self.individuals.is_empty() {
+            return None;
+        }
+        Some(
+            self.individuals.iter().map(|ind| ind.fitness).sum::<f64>()
+                / self.individuals.len() as f64,
+        )
+    }
+
+    /// Extract all rules (the Michigan solution), consuming the population.
+    pub fn into_rules(self) -> Vec<Rule> {
+        self.individuals.into_iter().map(|ind| ind.rule).collect()
+    }
+
+    /// Clone out all rules.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.individuals.iter().map(|ind| ind.rule.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Condition, Gene};
+
+    fn make_individual(fitness: f64, prediction: f64) -> Individual {
+        Individual {
+            rule: Rule {
+                condition: Condition::new(vec![Gene::bounded(0.0, 1.0)]),
+                coefficients: vec![0.0],
+                intercept: prediction,
+                prediction,
+                error: 0.1,
+                matched: 3,
+            },
+            fitness,
+        }
+    }
+
+    #[test]
+    fn empty_population() {
+        let p = Population::default();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.best_index(), None);
+        assert_eq!(p.worst_index(), None);
+        assert_eq!(p.mean_fitness(), None);
+    }
+
+    #[test]
+    fn best_worst_mean() {
+        let p = Population::new(vec![
+            make_individual(1.0, 0.0),
+            make_individual(5.0, 1.0),
+            make_individual(-3.0, 2.0),
+        ]);
+        assert_eq!(p.best_index(), Some(1));
+        assert_eq!(p.worst_index(), Some(2));
+        assert!((p.mean_fitness().unwrap() - 1.0).abs() < 1e-12);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.get(1).fitness, 5.0);
+    }
+
+    #[test]
+    fn replace_updates_slot() {
+        let mut p = Population::new(vec![make_individual(1.0, 0.0), make_individual(2.0, 1.0)]);
+        p.replace(0, make_individual(10.0, 5.0));
+        assert_eq!(p.get(0).fitness, 10.0);
+        assert_eq!(p.best_index(), Some(0));
+    }
+
+    #[test]
+    fn rules_extraction() {
+        let p = Population::new(vec![make_individual(1.0, 7.0), make_individual(2.0, 8.0)]);
+        let cloned = p.rules();
+        assert_eq!(cloned.len(), 2);
+        assert_eq!(cloned[0].prediction, 7.0);
+        let owned = p.into_rules();
+        assert_eq!(owned.len(), 2);
+        assert_eq!(owned[1].prediction, 8.0);
+    }
+
+    #[test]
+    fn best_index_handles_sentinel_fitness() {
+        let p = Population::new(vec![
+            make_individual(-1e12, 0.0),
+            make_individual(-1e12, 1.0),
+        ]);
+        // total_cmp makes this deterministic; first max wins.
+        assert!(p.best_index().is_some());
+    }
+}

@@ -1,0 +1,501 @@
+//! The abstaining rule-set predictor (§3.4).
+//!
+//! "For each input pattern, we look for the rules that this pattern fits.
+//! Each rule produces an output for this pattern. The final system output is
+//! the mean of the output for each pattern." Windows matched by no rule get
+//! *no* prediction — the abstention every results table accounts for in its
+//! "percentage of prediction" column.
+
+use crate::dataset::ExampleSet;
+use crate::rule::Rule;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// How the outputs of simultaneously firing rules are combined.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Combination {
+    /// The paper's rule (§3.4): plain mean over firing rules.
+    #[default]
+    Mean,
+    /// Extension: weight each firing rule by `1 / (e_R + ε)` so precise
+    /// rules dominate sloppy ones where they overlap (ablation A5).
+    InverseErrorWeighted,
+}
+
+/// Detailed outcome of predicting one window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionDetail {
+    /// The system output (mean over firing rules).
+    pub value: f64,
+    /// Number of rules that fired.
+    pub firing_rules: usize,
+    /// Mean of the firing rules' expected errors `e_R` — the system's own
+    /// confidence estimate for this window.
+    pub expected_error: f64,
+}
+
+/// A trained forecasting system: the union of all viable rules from one or
+/// more executions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSetPredictor {
+    rules: Vec<Rule>,
+}
+
+impl RuleSetPredictor {
+    /// Build from a rule set, keeping only *usable* rules: at least two
+    /// matched training windows (the paper's `NR > 1` viability condition)
+    /// and a finite expected error. Rules that never matched anything carry
+    /// no information and would pollute the mean.
+    pub fn new(rules: Vec<Rule>) -> RuleSetPredictor {
+        let rules = rules
+            .into_iter()
+            .filter(|r| r.matched > 1 && r.error.is_finite())
+            .collect();
+        RuleSetPredictor { rules }
+    }
+
+    /// Build without filtering (for diagnostics / serialization tests).
+    pub fn with_all_rules(rules: Vec<Rule>) -> RuleSetPredictor {
+        RuleSetPredictor { rules }
+    }
+
+    /// Drop every rule whose expected error exceeds `max_error` — the
+    /// predictor-side analogue of the fitness function's `EMAX` cut. Rules
+    /// that were unfit at the end of evolution (e.g. never replaced) would
+    /// otherwise still contribute to the prediction mean.
+    pub fn filter_by_error(self, max_error: f64) -> RuleSetPredictor {
+        RuleSetPredictor {
+            rules: self
+                .rules
+                .into_iter()
+                .filter(|r| r.error < max_error)
+                .collect(),
+        }
+    }
+
+    /// The retained rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// Number of retained rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when no rules were retained.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Merge another predictor's rules into this one (ensemble union).
+    pub fn merge(&mut self, other: RuleSetPredictor) {
+        self.rules.extend(other.rules);
+    }
+
+    /// Predict one window: mean over the outputs of every firing rule;
+    /// `None` when no rule fires. (The paper's combination; see
+    /// [`RuleSetPredictor::predict_with`] for alternatives.)
+    pub fn predict(&self, window: &[f64]) -> Option<f64> {
+        self.predict_with(window, Combination::Mean)
+    }
+
+    /// Predict with an explicit combination strategy.
+    pub fn predict_with(&self, window: &[f64], combination: Combination) -> Option<f64> {
+        // Small regularizer so a zero-error rule doesn't get infinite weight.
+        const EPS: f64 = 1e-9;
+        let mut sum = 0.0;
+        let mut weight_sum = 0.0;
+        let mut count = 0usize;
+        for r in &self.rules {
+            if r.condition.matches(window) {
+                let w = match combination {
+                    Combination::Mean => 1.0,
+                    Combination::InverseErrorWeighted => 1.0 / (r.error + EPS),
+                };
+                sum += w * r.predict(window);
+                weight_sum += w;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / weight_sum)
+        }
+    }
+
+    /// Predict with diagnostics.
+    pub fn predict_detailed(&self, window: &[f64]) -> Option<PredictionDetail> {
+        let mut sum = 0.0;
+        let mut err_sum = 0.0;
+        let mut count = 0usize;
+        for r in &self.rules {
+            if r.condition.matches(window) {
+                sum += r.predict(window);
+                err_sum += r.error;
+                count += 1;
+            }
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(PredictionDetail {
+                value: sum / count as f64,
+                firing_rules: count,
+                expected_error: err_sum / count as f64,
+            })
+        }
+    }
+
+    /// Predict every example of a dataset (parallel above `threshold`).
+    pub fn predict_dataset<E: ExampleSet>(
+        &self,
+        data: &E,
+        threshold: usize,
+    ) -> Vec<Option<f64>> {
+        crate::parallel::batch_predict(data, threshold, |w| self.predict(w))
+    }
+
+    /// Remove rules made redundant by better rules, judged against a
+    /// reference dataset (normally the training data): rule `B` is dropped
+    /// when some rule `A` matches a superset of `B`'s windows with an
+    /// expected error no worse than `B`'s. Coverage on the reference data is
+    /// provably unchanged; predictions can shift only where a dropped rule
+    /// used to dilute the mean of its dominator.
+    ///
+    /// Cost is `O(R² · N)` in the worst case (R rules, N windows) with an
+    /// early exit on the first non-dominated window — fine for the hundreds
+    /// of rules an ensemble produces.
+    pub fn compact<E: ExampleSet>(self, data: &E) -> RuleSetPredictor {
+        let n = data.len();
+        // Precompute match bitsets (one Vec<bool> per rule).
+        let matches: Vec<Vec<bool>> = self
+            .rules
+            .iter()
+            .map(|r| (0..n).map(|i| r.condition.matches(data.features(i))).collect())
+            .collect();
+        let counts: Vec<usize> = matches
+            .iter()
+            .map(|m| m.iter().filter(|&&b| b).count())
+            .collect();
+
+        let mut keep = vec![true; self.rules.len()];
+        for b in 0..self.rules.len() {
+            'candidates: for a in 0..self.rules.len() {
+                if a == b || !keep[a] {
+                    continue;
+                }
+                // A must be at least as accurate and match at least as much.
+                if self.rules[a].error > self.rules[b].error || counts[a] < counts[b] {
+                    continue;
+                }
+                // Tie-break so two identical rules don't eliminate each
+                // other: in a perfect tie, the lower index survives.
+                if counts[a] == counts[b]
+                    && self.rules[a].error == self.rules[b].error
+                    && a > b
+                {
+                    continue;
+                }
+                let b_escapes_a = matches[b]
+                    .iter()
+                    .zip(&matches[a])
+                    .any(|(&mb, &ma)| mb && !ma);
+                if b_escapes_a {
+                    continue 'candidates; // B reaches a window A misses
+                }
+                keep[b] = false;
+                break;
+            }
+        }
+
+        RuleSetPredictor {
+            rules: self
+                .rules
+                .into_iter()
+                .zip(keep)
+                .filter_map(|(r, k)| k.then_some(r))
+                .collect(),
+        }
+    }
+
+    /// Serialize the trained system to pretty JSON on any writer.
+    ///
+    /// # Errors
+    /// I/O errors from the writer.
+    pub fn save_json<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self).expect("predictor serializes");
+        writer.write_all(json.as_bytes())
+    }
+
+    /// Serialize the trained system to a file.
+    ///
+    /// # Errors
+    /// I/O errors from file creation/writing.
+    pub fn save_json_file(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        self.save_json(std::fs::File::create(path)?)
+    }
+
+    /// Load a system previously saved with [`RuleSetPredictor::save_json`].
+    ///
+    /// # Errors
+    /// I/O errors, or `InvalidData` when the JSON does not parse.
+    pub fn load_json<R: Read>(mut reader: R) -> std::io::Result<RuleSetPredictor> {
+        let mut buf = String::new();
+        reader.read_to_string(&mut buf)?;
+        serde_json::from_str(&buf)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load from a file.
+    ///
+    /// # Errors
+    /// See [`RuleSetPredictor::load_json`].
+    pub fn load_json_file(path: impl AsRef<Path>) -> std::io::Result<RuleSetPredictor> {
+        Self::load_json(std::fs::File::open(path)?)
+    }
+
+    /// Fraction of a dataset's examples that receive a prediction.
+    pub fn coverage<E: ExampleSet>(&self, data: &E) -> f64 {
+        if data.len() == 0 {
+            return 0.0;
+        }
+        let covered = (0..data.len())
+            .filter(|&i| self.rules.iter().any(|r| r.condition.matches(data.features(i))))
+            .count();
+        covered as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Condition, Gene};
+    use evoforecast_tsdata::window::WindowSpec;
+
+    fn rule(lo: f64, hi: f64, slope: f64, intercept: f64, matched: usize, error: f64) -> Rule {
+        Rule {
+            condition: Condition::new(vec![Gene::bounded(lo, hi)]),
+            coefficients: vec![slope],
+            intercept,
+            prediction: intercept,
+            error,
+            matched,
+        }
+    }
+
+    #[test]
+    fn filters_unusable_rules() {
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 1.0, 1.0, 0.0, 5, 0.1),          // kept
+            rule(0.0, 1.0, 1.0, 0.0, 1, 0.1),          // NR <= 1: dropped
+            rule(0.0, 1.0, 1.0, 0.0, 9, f64::INFINITY), // inf error: dropped
+        ]);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        let all = RuleSetPredictor::with_all_rules(vec![rule(0.0, 1.0, 1.0, 0.0, 0, 0.0)]);
+        assert_eq!(all.len(), 1);
+    }
+
+    #[test]
+    fn predict_means_over_firing_rules() {
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 10.0, 0.0, 4.0, 3, 0.1), // outputs 4
+            rule(0.0, 5.0, 0.0, 8.0, 3, 0.3),  // outputs 8
+        ]);
+        // Window 3.0 fires both: mean (4+8)/2 = 6.
+        assert_eq!(p.predict(&[3.0]), Some(6.0));
+        // Window 7.0 fires only the first.
+        assert_eq!(p.predict(&[7.0]), Some(4.0));
+        // Window 20.0 fires none: abstain.
+        assert_eq!(p.predict(&[20.0]), None);
+    }
+
+    #[test]
+    fn predict_detailed_reports_diagnostics() {
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 10.0, 0.0, 4.0, 3, 0.1),
+            rule(0.0, 5.0, 0.0, 8.0, 3, 0.3),
+        ]);
+        let d = p.predict_detailed(&[3.0]).unwrap();
+        assert_eq!(d.firing_rules, 2);
+        assert!((d.value - 6.0).abs() < 1e-12);
+        assert!((d.expected_error - 0.2).abs() < 1e-12);
+        assert!(p.predict_detailed(&[99.0]).is_none());
+    }
+
+    #[test]
+    fn hyperplane_rules_use_window_values() {
+        let p = RuleSetPredictor::new(vec![rule(0.0, 10.0, 2.0, 1.0, 3, 0.1)]);
+        assert_eq!(p.predict(&[4.0]), Some(9.0)); // 2*4 + 1
+    }
+
+    #[test]
+    fn merge_unions_rule_sets() {
+        let mut a = RuleSetPredictor::new(vec![rule(0.0, 1.0, 0.0, 1.0, 3, 0.1)]);
+        let b = RuleSetPredictor::new(vec![rule(2.0, 3.0, 0.0, 2.0, 3, 0.1)]);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.predict(&[0.5]), Some(1.0));
+        assert_eq!(a.predict(&[2.5]), Some(2.0));
+    }
+
+    #[test]
+    fn coverage_and_dataset_prediction() {
+        let vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(1, 1).unwrap().dataset(&vals).unwrap();
+        // Covers windows with value in [0, 9].
+        let p = RuleSetPredictor::new(vec![rule(0.0, 9.0, 1.0, 1.0, 5, 0.1)]);
+        let cov = p.coverage(&ds);
+        assert!((cov - 10.0 / 19.0).abs() < 1e-12);
+        let preds = p.predict_dataset(&ds, usize::MAX);
+        assert_eq!(preds.len(), 19);
+        assert_eq!(preds[0], Some(1.0)); // window [0] -> 0*1+1
+        assert_eq!(preds[10], None);
+        // Parallel path identical.
+        assert_eq!(preds, p.predict_dataset(&ds, 1));
+    }
+
+    #[test]
+    fn empty_predictor_abstains_everywhere() {
+        let p = RuleSetPredictor::new(vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.predict(&[1.0]), None);
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(1, 1).unwrap().dataset(&vals).unwrap();
+        assert_eq!(p.coverage(&ds), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = RuleSetPredictor::new(vec![rule(0.0, 10.0, 2.0, 1.0, 3, 0.1)]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: RuleSetPredictor = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn filter_by_error_drops_sloppy_rules() {
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 10.0, 0.0, 1.0, 3, 0.1),
+            rule(0.0, 10.0, 0.0, 2.0, 3, 5.0),
+        ]);
+        assert_eq!(p.len(), 2);
+        let tight = p.filter_by_error(1.0);
+        assert_eq!(tight.len(), 1);
+        assert_eq!(tight.predict(&[5.0]), Some(1.0));
+    }
+
+    #[test]
+    fn weighted_combination_prefers_precise_rules() {
+        // Two rules fire: one precise (e=0.01, predicts 10), one sloppy
+        // (e=1.0, predicts 20). Mean = 15; weighted lands near 10.
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 10.0, 0.0, 10.0, 3, 0.01),
+            rule(0.0, 10.0, 0.0, 20.0, 3, 1.0),
+        ]);
+        let mean = p.predict_with(&[5.0], Combination::Mean).unwrap();
+        let weighted = p
+            .predict_with(&[5.0], Combination::InverseErrorWeighted)
+            .unwrap();
+        assert!((mean - 15.0).abs() < 1e-9);
+        assert!(weighted < 10.5, "weighted {weighted} should hug the precise rule");
+        assert!(weighted > 9.9);
+    }
+
+    #[test]
+    fn weighted_equals_mean_when_errors_equal() {
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 10.0, 0.0, 4.0, 3, 0.5),
+            rule(0.0, 10.0, 0.0, 8.0, 3, 0.5),
+        ]);
+        let mean = p.predict_with(&[5.0], Combination::Mean).unwrap();
+        let weighted = p
+            .predict_with(&[5.0], Combination::InverseErrorWeighted)
+            .unwrap();
+        assert!((mean - weighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_abstains_like_mean() {
+        let p = RuleSetPredictor::new(vec![rule(0.0, 1.0, 0.0, 4.0, 3, 0.5)]);
+        assert_eq!(p.predict_with(&[9.0], Combination::InverseErrorWeighted), None);
+    }
+
+    #[test]
+    fn compact_drops_dominated_rules() {
+        let vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(1, 1).unwrap().dataset(&vals).unwrap();
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 20.0, 1.0, 1.0, 5, 0.1), // dominator: wide and precise
+            rule(5.0, 10.0, 1.0, 1.0, 5, 0.5), // subset with worse error: dropped
+            rule(22.0, 28.0, 1.0, 1.0, 5, 0.9), // disjoint zone: kept
+        ]);
+        let before_cov = p.coverage(&ds);
+        let compacted = p.compact(&ds);
+        assert_eq!(compacted.len(), 2);
+        assert!((compacted.coverage(&ds) - before_cov).abs() < 1e-12);
+        // The dominator survived, the subset died.
+        assert!(compacted
+            .rules()
+            .iter()
+            .any(|r| r.condition.matches(&[15.0])));
+        assert!(compacted
+            .rules()
+            .iter()
+            .any(|r| r.condition.matches(&[25.0])));
+    }
+
+    #[test]
+    fn compact_keeps_one_of_identical_twins() {
+        let vals: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(1, 1).unwrap().dataset(&vals).unwrap();
+        let twin = rule(0.0, 9.0, 1.0, 1.0, 5, 0.2);
+        let p = RuleSetPredictor::new(vec![twin.clone(), twin]);
+        let compacted = p.compact(&ds);
+        assert_eq!(compacted.len(), 1, "exactly one twin must survive");
+        assert!(compacted.coverage(&ds) > 0.99);
+    }
+
+    #[test]
+    fn compact_preserves_non_dominated_overlaps() {
+        // Overlapping but neither a subset of the other: both stay.
+        let vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(1, 1).unwrap().dataset(&vals).unwrap();
+        let p = RuleSetPredictor::new(vec![
+            rule(0.0, 12.0, 1.0, 1.0, 5, 0.1),
+            rule(8.0, 19.0, 1.0, 1.0, 5, 0.1),
+        ]);
+        assert_eq!(p.compact(&ds).len(), 2);
+    }
+
+    #[test]
+    fn save_and_load_json_round_trip() {
+        let p = RuleSetPredictor::new(vec![rule(0.0, 10.0, 2.0, 1.0, 3, 0.1)]);
+        let mut buf = Vec::new();
+        p.save_json(&mut buf).unwrap();
+        let back = RuleSetPredictor::load_json(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!((back.predict(&[4.0]).unwrap() - p.predict(&[4.0]).unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn save_and_load_json_file() {
+        let dir = std::env::temp_dir().join("evoforecast_predict_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("predictor.json");
+        let p = RuleSetPredictor::new(vec![rule(0.0, 10.0, 2.0, 1.0, 3, 0.1)]);
+        p.save_json_file(&path).unwrap();
+        let back = RuleSetPredictor::load_json_file(&path).unwrap();
+        assert_eq!(back.len(), p.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_json_rejects_garbage() {
+        let err = RuleSetPredictor::load_json("not json".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,274 @@
+//! Deriving a rule's predicting part from the windows it matches.
+//!
+//! The paper's procedure (§3.1):
+//!
+//! 1. collect `C_R(S)` — the training windows matched by the condition,
+//! 2. append each window's horizon-τ target `v_i`,
+//! 3. fit the hyperplane `v ≈ a_0 x_i + ... + a_{D-1} x_{i+D-1} + a_D` by
+//!    linear regression over those vectors,
+//! 4. the expected error is `e_R = max_i |v_i − ṽ_i|`.
+//!
+//! This module performs steps 1–4 in one pass, returning an [`Evaluation`]
+//! the fitness function and the rule constructor both consume. Matching and
+//! the regression accumulation are fused so each window is touched once.
+
+use crate::rule::{Condition, Rule};
+use evoforecast_linalg::regression::{LinearRegression, RegressionOptions};
+use evoforecast_linalg::Matrix;
+use crate::dataset::ExampleSet;
+
+/// Outcome of evaluating a condition against a training dataset.
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// Indices of the matched windows.
+    pub matched: Vec<usize>,
+    /// Fitted model, when at least one window matched.
+    pub model: Option<FittedPart>,
+}
+
+/// The derived predicting part.
+#[derive(Debug, Clone)]
+pub struct FittedPart {
+    /// Hyperplane slopes `a_0..a_{D-1}`.
+    pub coefficients: Vec<f64>,
+    /// Intercept `a_D`.
+    pub intercept: f64,
+    /// Scalar summary prediction `p` — mean matched target.
+    pub prediction: f64,
+    /// Expected error `e_R` — max absolute residual.
+    pub error: f64,
+}
+
+impl Evaluation {
+    /// `N_R`: number of matched windows.
+    pub fn matched_count(&self) -> usize {
+        self.matched.len()
+    }
+
+    /// Assemble a full [`Rule`]. Rules that matched nothing get a
+    /// zero hyperplane and infinite error so they can never pollute
+    /// predictions, mirroring the paper's `f_min` treatment.
+    pub fn into_rule(self, condition: Condition) -> Rule {
+        let d = condition.len();
+        match self.model {
+            Some(m) => Rule {
+                condition,
+                coefficients: m.coefficients,
+                intercept: m.intercept,
+                prediction: m.prediction,
+                error: m.error,
+                matched: self.matched.len(),
+            },
+            None => Rule {
+                condition,
+                coefficients: vec![0.0; d],
+                intercept: 0.0,
+                prediction: 0.0,
+                error: f64::INFINITY,
+                matched: 0,
+            },
+        }
+    }
+}
+
+/// Match `condition` against every window of `data` and derive the
+/// predicting part from the matched subset.
+///
+/// `opts` selects the regression path; the engine uses
+/// [`RegressionOptions::fast`] (ridge-stabilized normal equations) because
+/// this runs once per offspring.
+pub fn evaluate<E: ExampleSet>(
+    condition: &Condition,
+    data: &E,
+    opts: RegressionOptions,
+) -> Evaluation {
+    let matched: Vec<usize> = (0..data.len())
+        .filter(|&i| condition.matches(data.features(i)))
+        .collect();
+    let model = fit_part(&matched, data, opts);
+    Evaluation { matched, model }
+}
+
+/// Derive the predicting part from an explicit matched-index list (used by
+/// the parallel evaluation path, which computes the matches with rayon).
+pub fn fit_part<E: ExampleSet>(
+    matched: &[usize],
+    data: &E,
+    opts: RegressionOptions,
+) -> Option<FittedPart> {
+    if matched.is_empty() {
+        return None;
+    }
+    let d = data.feature_len();
+
+    // Mean matched target = the paper's scalar p; also the fallback
+    // prediction when the regression cannot run.
+    let mean_target =
+        matched.iter().map(|&i| data.target(i)).sum::<f64>() / matched.len() as f64;
+
+    if matched.len() == 1 {
+        // A single point determines no hyperplane: predict its target as a
+        // constant. The paper assigns such rules f_min anyway (NR > 1 is
+        // required), so this only affects reporting.
+        let i = matched[0];
+        return Some(FittedPart {
+            coefficients: vec![0.0; d],
+            intercept: data.target(i),
+            prediction: data.target(i),
+            error: 0.0,
+        });
+    }
+
+    // Build the design over matched windows only.
+    let mut xs = Matrix::zeros(matched.len(), d);
+    let mut ys = Vec::with_capacity(matched.len());
+    for (row, &i) in matched.iter().enumerate() {
+        xs.row_mut(row).copy_from_slice(data.features(i));
+        ys.push(data.target(i));
+    }
+
+    match LinearRegression::fit_with(&xs, &ys, opts) {
+        Ok(fit) => {
+            let error = fit.max_abs_residual(&xs, &ys);
+            Some(FittedPart {
+                coefficients: fit.coefficients().to_vec(),
+                intercept: fit.intercept(),
+                prediction: mean_target,
+                error,
+            })
+        }
+        Err(_) => {
+            // Pathological design even for ridge: fall back to the constant
+            // mean predictor with its worst-case residual.
+            let error = ys
+                .iter()
+                .map(|y| (y - mean_target).abs())
+                .fold(0.0_f64, f64::max);
+            Some(FittedPart {
+                coefficients: vec![0.0; d],
+                intercept: mean_target,
+                prediction: mean_target,
+                error,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Gene;
+    use evoforecast_tsdata::window::WindowSpec;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn evaluate_matches_and_fits_linear_series() {
+        // Ramp: target = last window value + τ, an exact linear relation —
+        // but ramp windows are perfectly collinear (x, x+1, x+2), so the QR
+        // path reports rank deficiency and the ridge fallback fits. The fit
+        // is near-exact, up to the (tiny) ridge shrinkage.
+        let vals = ramp(50);
+        let ds = WindowSpec::new(3, 2).unwrap().dataset(&vals).unwrap();
+        let cond = Condition::all_wildcards(3);
+        let ev = evaluate(&cond, &ds, RegressionOptions::default());
+        assert_eq!(ev.matched_count(), ds.len());
+        let m = ev.model.as_ref().unwrap();
+        assert!(m.error < 1e-3, "near-exact linear series: error {}", m.error);
+        let rule = ev.into_rule(cond);
+        // Prediction at window [10, 11, 12] must be ~14 (τ = 2).
+        assert!((rule.predict(&[10.0, 11.0, 12.0]) - 14.0).abs() < 1e-2);
+        assert_eq!(rule.matched, 46); // 50 - (3 + 2 - 1)
+    }
+
+    #[test]
+    fn restrictive_condition_matches_subset() {
+        let vals = ramp(50);
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        // Windows starting in [10, 20) only.
+        let cond = Condition::new(vec![Gene::bounded(10.0, 19.0), Gene::Wildcard]);
+        let ev = evaluate(&cond, &ds, RegressionOptions::default());
+        assert_eq!(ev.matched_count(), 10);
+        assert!(ev.matched.iter().all(|&i| (10..20).contains(&i)));
+    }
+
+    #[test]
+    fn no_match_yields_unusable_rule() {
+        let vals = ramp(20);
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        let cond = Condition::new(vec![Gene::bounded(100.0, 200.0), Gene::Wildcard]);
+        let ev = evaluate(&cond, &ds, RegressionOptions::default());
+        assert_eq!(ev.matched_count(), 0);
+        assert!(ev.model.is_none());
+        let rule = ev.into_rule(cond);
+        assert_eq!(rule.matched, 0);
+        assert!(rule.error.is_infinite());
+    }
+
+    #[test]
+    fn single_match_predicts_its_target() {
+        let vals = ramp(20);
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        // Only the window starting at 5 ([5, 6]) matches.
+        let cond = Condition::new(vec![Gene::bounded(5.0, 5.0), Gene::Wildcard]);
+        let ev = evaluate(&cond, &ds, RegressionOptions::default());
+        assert_eq!(ev.matched_count(), 1);
+        let m = ev.model.as_ref().unwrap();
+        assert_eq!(m.prediction, 7.0); // target of window at 5 with τ=1
+        assert_eq!(m.error, 0.0);
+        let rule = ev.into_rule(cond);
+        assert_eq!(rule.predict(&[5.0, 6.0]), 7.0);
+    }
+
+    #[test]
+    fn scalar_prediction_is_mean_matched_target() {
+        // Constant-free check on a noisy series.
+        let vals: Vec<f64> = (0..40).map(|i| ((i * 7919) % 13) as f64).collect();
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        let cond = Condition::all_wildcards(2);
+        let ev = evaluate(&cond, &ds, RegressionOptions::default());
+        let mean: f64 =
+            (0..ds.len()).map(|i| ds.target(i)).sum::<f64>() / ds.len() as f64;
+        let m = ev.model.as_ref().unwrap();
+        assert!((m.prediction - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_residual_is_reported() {
+        // Series with one outlier: max residual must reflect it.
+        let mut vals = ramp(30);
+        vals[20] = 100.0; // outlier target for some window
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        let cond = Condition::all_wildcards(2);
+        let ev = evaluate(&cond, &ds, RegressionOptions::default());
+        let m = ev.model.as_ref().unwrap();
+        assert!(m.error > 10.0, "outlier must inflate e_R: {}", m.error);
+    }
+
+    #[test]
+    fn fast_options_work_on_tiny_match_sets() {
+        let vals = ramp(20);
+        let ds = WindowSpec::new(4, 1).unwrap().dataset(&vals).unwrap();
+        // Exactly two matches: fewer rows than D+1 columns; ridge handles it.
+        let cond = Condition::new(vec![
+            Gene::bounded(0.0, 1.0),
+            Gene::Wildcard,
+            Gene::Wildcard,
+            Gene::Wildcard,
+        ]);
+        let ev = evaluate(&cond, &ds, RegressionOptions::fast());
+        assert_eq!(ev.matched_count(), 2);
+        let m = ev.model.unwrap();
+        assert!(m.coefficients.iter().all(|c| c.is_finite()));
+        assert!(m.error.is_finite());
+    }
+
+    #[test]
+    fn fit_part_empty_is_none() {
+        let vals = ramp(10);
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        assert!(fit_part(&[], &ds, RegressionOptions::default()).is_none());
+    }
+}

@@ -1,0 +1,193 @@
+//! Replacement strategies.
+//!
+//! The paper replaces "the nearest individual to the offspring in phenotypic
+//! distance, i.e. ... the individual in the population that makes predictions
+//! on similar zones in the prediction space" — classic crowding (De Jong
+//! 1975), which preserves population diversity so rules specialize on
+//! different regions. The phenotypic coordinate of a rule is its scalar
+//! prediction `p` (the zone of the output space it predicts into).
+//!
+//! Replace-worst and replace-random are provided for the ablation bench
+//! (DESIGN.md A1): they demonstrate *why* crowding matters — replace-worst
+//! collapses the population onto the densest behaviour and coverage drops.
+
+use crate::population::{Individual, Population};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Which individual an offspring competes against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplacementStrategy {
+    /// Paper default: the phenotypically nearest individual (crowding).
+    Crowding,
+    /// Ablation: the current worst individual.
+    ReplaceWorst,
+    /// Ablation: a uniformly random individual.
+    ReplaceRandom,
+}
+
+/// Pick the victim slot for an offspring with scalar prediction
+/// `offspring_prediction`.
+///
+/// # Panics
+/// Panics on an empty population (engine invariant).
+pub fn choose_victim<R: Rng>(
+    strategy: ReplacementStrategy,
+    pop: &Population,
+    offspring_prediction: f64,
+    rng: &mut R,
+) -> usize {
+    assert!(!pop.is_empty(), "replacement over empty population");
+    match strategy {
+        ReplacementStrategy::Crowding => nearest_by_prediction(pop, offspring_prediction),
+        ReplacementStrategy::ReplaceWorst => pop.worst_index().expect("non-empty"),
+        ReplacementStrategy::ReplaceRandom => rng.gen_range(0..pop.len()),
+    }
+}
+
+/// Index of the individual whose scalar prediction is closest to the
+/// offspring's. Ties break toward the lower index (deterministic).
+fn nearest_by_prediction(pop: &Population, prediction: f64) -> usize {
+    let mut best = 0usize;
+    let mut best_dist = f64::INFINITY;
+    for (i, ind) in pop.individuals().iter().enumerate() {
+        let d = (ind.rule.prediction - prediction).abs();
+        if d < best_dist {
+            best_dist = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The paper's acceptance test: the offspring enters the population iff its
+/// fitness strictly beats the victim's. Returns whether the replacement
+/// happened.
+pub fn try_replace(pop: &mut Population, victim: usize, offspring: Individual) -> bool {
+    if offspring.fitness > pop.get(victim).fitness {
+        pop.replace(victim, offspring);
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Condition, Gene, Rule};
+    use rand_chacha::rand_core::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn individual(fitness: f64, prediction: f64) -> Individual {
+        Individual {
+            rule: Rule {
+                condition: Condition::new(vec![Gene::bounded(0.0, 1.0)]),
+                coefficients: vec![0.0],
+                intercept: prediction,
+                prediction,
+                error: 0.1,
+                matched: 3,
+            },
+            fitness,
+        }
+    }
+
+    fn pop() -> Population {
+        Population::new(vec![
+            individual(1.0, 0.0),
+            individual(2.0, 10.0),
+            individual(3.0, 20.0),
+            individual(0.5, 30.0),
+        ])
+    }
+
+    #[test]
+    fn crowding_picks_phenotypic_neighbor() {
+        let p = pop();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert_eq!(
+            choose_victim(ReplacementStrategy::Crowding, &p, 11.0, &mut rng),
+            1
+        );
+        assert_eq!(
+            choose_victim(ReplacementStrategy::Crowding, &p, 29.0, &mut rng),
+            3
+        );
+        assert_eq!(
+            choose_victim(ReplacementStrategy::Crowding, &p, -100.0, &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn crowding_tie_breaks_low_index() {
+        let p = Population::new(vec![individual(1.0, 10.0), individual(2.0, 20.0)]);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // 15 is equidistant; the lower index wins.
+        assert_eq!(
+            choose_victim(ReplacementStrategy::Crowding, &p, 15.0, &mut rng),
+            0
+        );
+    }
+
+    #[test]
+    fn replace_worst_targets_minimum_fitness() {
+        let p = pop();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        assert_eq!(
+            choose_victim(ReplacementStrategy::ReplaceWorst, &p, 0.0, &mut rng),
+            3
+        );
+    }
+
+    #[test]
+    fn replace_random_hits_all_slots_eventually() {
+        let p = pop();
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[choose_victim(ReplacementStrategy::ReplaceRandom, &p, 0.0, &mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn try_replace_requires_strictly_better() {
+        let mut p = pop();
+        // Equal fitness: rejected.
+        assert!(!try_replace(&mut p, 0, individual(1.0, 5.0)));
+        assert_eq!(p.get(0).rule.prediction, 0.0);
+        // Worse: rejected.
+        assert!(!try_replace(&mut p, 1, individual(1.5, 5.0)));
+        // Better: accepted.
+        assert!(try_replace(&mut p, 2, individual(10.0, 5.0)));
+        assert_eq!(p.get(2).rule.prediction, 5.0);
+        assert_eq!(p.get(2).fitness, 10.0);
+    }
+
+    #[test]
+    fn strategy_serde_round_trip() {
+        for s in [
+            ReplacementStrategy::Crowding,
+            ReplacementStrategy::ReplaceWorst,
+            ReplacementStrategy::ReplaceRandom,
+        ] {
+            let json = serde_json::to_string(&s).unwrap();
+            let back: ReplacementStrategy = serde_json::from_str(&json).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty population")]
+    fn empty_population_panics() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        choose_victim(
+            ReplacementStrategy::Crowding,
+            &Population::default(),
+            0.0,
+            &mut rng,
+        );
+    }
+}

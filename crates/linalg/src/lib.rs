@@ -1,0 +1,45 @@
+//! Dense linear algebra substrate for `evoforecast`.
+//!
+//! The rule system of Luque, Valls & Isasi (IPPS 2007) derives the predicting
+//! part of every rule from an ordinary-least-squares fit over the training
+//! windows matched by the rule's conditional part. This crate provides that
+//! substrate from scratch — no external linear-algebra dependency:
+//!
+//! * [`Matrix`] — a row-major dense matrix with the usual algebra,
+//! * [`lu`] — LU factorization with partial pivoting (solve / det / inverse),
+//! * [`qr`] — Householder QR (numerically robust least squares),
+//! * [`regression`] — OLS and ridge regression built on the factorizations,
+//! * [`stats`] — summary statistics used by generators, initializers and
+//!   metrics (mean, variance, quantiles, autocorrelation, histograms).
+//!
+//! # Example
+//!
+//! ```
+//! use evoforecast_linalg::{Matrix, regression::LinearRegression};
+//!
+//! // Fit y = 2*x0 + 1 exactly.
+//! let xs = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+//! let ys = [1.0, 3.0, 5.0, 7.0];
+//! let fit = LinearRegression::fit(&xs, &ys).unwrap();
+//! assert!((fit.coefficients()[0] - 2.0).abs() < 1e-9);
+//! assert!((fit.intercept() - 1.0).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+// Numeric kernels below index several structures in lockstep (matrix rows,
+// momentum buffers, context vectors); indexed loops state that intent more
+// clearly than clippy's zip/enumerate rewrites.
+#![allow(clippy::needless_range_loop)]
+
+pub mod error;
+pub mod fft;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod regression;
+pub mod stats;
+pub mod vector;
+
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use regression::{LinearRegression, RegressionOptions};

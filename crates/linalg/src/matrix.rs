@@ -1,0 +1,573 @@
+//! Row-major dense matrix.
+//!
+//! The matrix type is deliberately small and concrete: `f64` elements stored
+//! contiguously, row-major, with shape checks returning [`LinalgError`] rather
+//! than panicking, so the evolutionary engine can treat degenerate regression
+//! inputs (e.g. a rule matching a single window) as recoverable conditions.
+
+use crate::error::LinalgError;
+use crate::vector;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix of the given shape filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Build from a slice of row slices. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics when row lengths are ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "Matrix::from_rows: ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Build a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// True when the matrix has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying row-major data.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow row `i` as a slice.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= rows`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index {i} out of bounds ({})", self.rows);
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy column `j` into a new vector.
+    ///
+    /// # Panics
+    /// Panics when `j >= cols`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "col index {j} out of bounds ({})", self.cols);
+        (0..self.rows).map(|i| self[(i, j)]).collect()
+    }
+
+    /// Element access with bounds checking that returns `None` out of range.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> Option<f64> {
+        if i < self.rows && j < self.cols {
+            Some(self.data[i * self.cols + j])
+        } else {
+            None
+        }
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `self.cols != rhs.rows`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: the innermost loop walks contiguous rows of both
+        // `rhs` and `out`, which is cache-friendly for row-major storage.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = rhs.row(k);
+                let out_row = out.row_mut(i);
+                vector::axpy(a, rhs_row, out_row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != cols`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.cols {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matvec",
+                left: self.shape(),
+                right: (v.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| vector::dot_unchecked(self.row(i), v))
+            .collect())
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on differing shapes.
+    pub fn add(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "add",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a + b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] on differing shapes.
+    pub fn sub(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.shape() != rhs.shape() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "sub",
+                left: self.shape(),
+                right: rhs.shape(),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| alpha * x).collect(),
+        }
+    }
+
+    /// Gram matrix `selfᵀ * self` (symmetric, `cols x cols`), computed
+    /// directly without materializing the transpose. This is the hot kernel
+    /// of the normal-equations regression path.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..n {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                let grow = g.row_mut(a);
+                // Only the upper triangle; mirrored below.
+                for b in a..n {
+                    grow[b] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..n {
+            for b in 0..a {
+                g[(a, b)] = g[(b, a)];
+            }
+        }
+        g
+    }
+
+    /// `selfᵀ * v` computed without materializing the transpose.
+    ///
+    /// # Errors
+    /// Returns [`LinalgError::ShapeMismatch`] when `v.len() != rows`.
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if v.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "t_matvec",
+                left: (self.cols, self.rows),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            vector::axpy(v[i], self.row(i), &mut out);
+        }
+        Ok(out)
+    }
+
+    /// Maximum absolute element; `0.0` for an empty matrix.
+    pub fn norm_max(&self) -> f64 {
+        vector::norm_inf(&self.data)
+    }
+
+    /// Frobenius norm.
+    pub fn norm_frobenius(&self) -> f64 {
+        vector::norm2(&self.data)
+    }
+
+    /// True when all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        vector::all_finite(&self.data)
+    }
+
+    /// True when `|self - rhs|` is element-wise within `tol`.
+    pub fn approx_eq(&self, rhs: &Matrix, tol: f64) -> bool {
+        self.shape() == rhs.shape()
+            && self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .all(|(&a, &b)| (a - b).abs() <= tol)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>12.6} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn small_matrix() -> Matrix {
+        Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]])
+    }
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert!(!m.is_empty());
+        assert!(Matrix::zeros(0, 0).is_empty());
+    }
+
+    #[test]
+    fn identity_is_diagonal() {
+        let i3 = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(i3[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_length_mismatch_panics() {
+        let _ = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_ragged_panics() {
+        let _ = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]);
+    }
+
+    #[test]
+    fn from_fn_layout() {
+        let m = Matrix::from_fn(2, 3, |i, j| (i * 10 + j) as f64);
+        assert_eq!(m.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn row_col_access() {
+        let m = small_matrix();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+        assert_eq!(m.get(1, 1), Some(4.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = Matrix::from_fn(3, 4, |i, j| (i * 7 + j * 3) as f64);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().shape(), (4, 3));
+        assert_eq!(m.transpose()[(2, 1)], m[(1, 2)]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let m = small_matrix();
+        let i = Matrix::identity(2);
+        assert!(m.matmul(&i).unwrap().approx_eq(&m, 1e-12));
+        assert!(i.matmul(&m).unwrap().approx_eq(&m, 1e-12));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[&[7.0, 8.0], &[9.0, 10.0], &[11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.approx_eq(
+            &Matrix::from_rows(&[&[58.0, 64.0], &[139.0, 154.0]]),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matvec_known() {
+        let m = small_matrix();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn add_sub_scaled() {
+        let m = small_matrix();
+        let s = m.add(&m).unwrap();
+        assert!(s.approx_eq(&m.scaled(2.0), 1e-12));
+        let d = s.sub(&m).unwrap();
+        assert!(d.approx_eq(&m, 1e-12));
+        assert!(m.add(&Matrix::zeros(1, 2)).is_err());
+        assert!(m.sub(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn gram_matches_explicit_transpose_product() {
+        let m = Matrix::from_fn(4, 3, |i, j| ((i + 1) * (j + 2)) as f64 * 0.5);
+        let explicit = m.transpose().matmul(&m).unwrap();
+        assert!(m.gram().approx_eq(&explicit, 1e-9));
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose() {
+        let m = Matrix::from_fn(4, 3, |i, j| (i as f64 - j as f64) * 1.5);
+        let v = [1.0, -2.0, 0.5, 3.0];
+        let direct = m.t_matvec(&v).unwrap();
+        let explicit = m.transpose().matvec(&v).unwrap();
+        for (a, b) in direct.iter().zip(explicit.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+        assert!(m.t_matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn norms_and_finiteness() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, -4.0]]);
+        assert!((m.norm_frobenius() - 5.0).abs() < 1e-12);
+        assert!((m.norm_max() - 4.0).abs() < 1e-12);
+        assert!(m.all_finite());
+        let mut bad = m.clone();
+        bad[(0, 0)] = f64::NAN;
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    fn display_contains_elements() {
+        let s = small_matrix().to_string();
+        assert!(s.contains("2x2"));
+        assert!(s.contains("4.0"));
+    }
+
+    proptest! {
+        #[test]
+        fn transpose_involution(
+            rows in 1usize..6, cols in 1usize..6, seed in 0u64..999
+        ) {
+            let m = Matrix::from_fn(rows, cols, |i, j| {
+                ((i * 31 + j * 17) as f64 + seed as f64).sin()
+            });
+            prop_assert_eq!(m.transpose().transpose(), m);
+        }
+
+        #[test]
+        fn matmul_associative(
+            n in 1usize..5, seed in 0u64..999
+        ) {
+            let gen = |off: u64| Matrix::from_fn(n, n, move |i, j| {
+                (((i * 13 + j * 7) as u64 + seed + off) as f64 * 0.37).cos()
+            });
+            let (a, b, c) = (gen(0), gen(100), gen(200));
+            let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+            let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+            prop_assert!(left.approx_eq(&right, 1e-9));
+        }
+
+        #[test]
+        fn matmul_distributes_over_add(
+            n in 1usize..5, seed in 0u64..999
+        ) {
+            let gen = |off: u64| Matrix::from_fn(n, n, move |i, j| {
+                (((i * 5 + j * 11) as u64 + seed + off) as f64 * 0.21).sin()
+            });
+            let (a, b, c) = (gen(0), gen(50), gen(150));
+            let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+            let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+            prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+        }
+    }
+}

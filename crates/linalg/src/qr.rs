@@ -1,0 +1,378 @@
+//! Householder QR factorization and least-squares solver.
+//!
+//! QR is the numerically robust path for the rule-regression fit: the normal
+//! equations square the condition number, which matters when a rule matches
+//! nearly-collinear windows (common on smooth series such as tides). The
+//! regression module tries QR first and falls back to ridge-regularized
+//! normal equations for rank-deficient systems.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+
+/// Compact Householder QR of an `m x n` matrix with `m >= n`.
+///
+/// ```
+/// use evoforecast_linalg::{Matrix, qr::least_squares};
+///
+/// // Fit y = 2x + 1 through exact points with columns [x, 1].
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0]]);
+/// let x = least_squares(&a, &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-10);
+/// assert!((x[1] - 1.0).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Packed factor: the upper triangle holds `R`; below the diagonal each
+    /// column holds the essential part of its Householder reflector.
+    qr: Matrix,
+    /// Leading coefficient `v[0]` of each reflector (the diagonal of the
+    /// packed storage is occupied by `R`).
+    reflector_heads: Vec<f64>,
+    /// `tau[k] = 2 / (v_kᵀ v_k)` per reflector; `0` for a skipped column.
+    tau: Vec<f64>,
+}
+
+/// A column whose norm is below `RANK_TOL * ||A||_max` is treated as rank
+/// deficient.
+const RANK_TOL: f64 = 1e-12;
+
+impl QrDecomposition {
+    /// Factorize `a` (`m x n`, `m >= n`).
+    ///
+    /// # Errors
+    /// * [`LinalgError::Underdetermined`] when `m < n`,
+    /// * [`LinalgError::Empty`] when either dimension is zero,
+    /// * [`LinalgError::NonFinite`] on NaN/inf input.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        let (m, n) = a.shape();
+        if m == 0 || n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if m < n {
+            return Err(LinalgError::Underdetermined { rows: m, cols: n });
+        }
+        if !a.all_finite() {
+            return Err(LinalgError::NonFinite);
+        }
+
+        let mut qr = a.clone();
+        let mut reflector_heads = vec![0.0; n];
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Norm of the k-th column below (and including) the diagonal.
+            let mut norm_sq = 0.0;
+            for i in k..m {
+                let v = qr[(i, k)];
+                norm_sq += v * v;
+            }
+            let norm = norm_sq.sqrt();
+            if norm <= RANK_TOL {
+                // Rank-deficient column: leave R's diagonal at ~0 and record
+                // a no-op reflector. solve() will report Singular.
+                reflector_heads[k] = 0.0;
+                tau[k] = 0.0;
+                continue;
+            }
+
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            // v = x - alpha * e1 ; stored with head separate because the
+            // diagonal slot is overwritten by R.
+            let head = qr[(k, k)] - alpha;
+            let mut v_norm_sq = head * head;
+            for i in (k + 1)..m {
+                let v = qr[(i, k)];
+                v_norm_sq += v * v;
+            }
+            if v_norm_sq <= f64::MIN_POSITIVE {
+                reflector_heads[k] = 0.0;
+                tau[k] = 0.0;
+                qr[(k, k)] = alpha;
+                continue;
+            }
+            let t = 2.0 / v_norm_sq;
+
+            // Apply H = I - t v vᵀ to the trailing submatrix columns k+1..n.
+            for j in (k + 1)..n {
+                let mut s = head * qr[(k, j)];
+                for i in (k + 1)..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= t;
+                qr[(k, j)] -= s * head;
+                for i in (k + 1)..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+
+            reflector_heads[k] = head;
+            tau[k] = t;
+            qr[(k, k)] = alpha;
+        }
+
+        Ok(QrDecomposition {
+            qr,
+            reflector_heads,
+            tau,
+        })
+    }
+
+    /// Number of rows of the factorized matrix.
+    pub fn rows(&self) -> usize {
+        self.qr.rows()
+    }
+
+    /// Number of columns of the factorized matrix.
+    pub fn cols(&self) -> usize {
+        self.qr.cols()
+    }
+
+    /// True when every diagonal entry of `R` is comfortably nonzero, i.e. the
+    /// matrix has full column rank to working precision.
+    pub fn is_full_rank(&self) -> bool {
+        let scale = self.qr.norm_max().max(1.0);
+        (0..self.cols()).all(|k| self.qr[(k, k)].abs() > RANK_TOL * scale)
+    }
+
+    /// Apply `Qᵀ` to a vector in place.
+    fn apply_q_transpose(&self, b: &mut [f64]) {
+        let (m, n) = self.qr.shape();
+        for k in 0..n {
+            let t = self.tau[k];
+            if t == 0.0 {
+                continue;
+            }
+            let head = self.reflector_heads[k];
+            let mut s = head * b[k];
+            for i in (k + 1)..m {
+                s += self.qr[(i, k)] * b[i];
+            }
+            s *= t;
+            b[k] -= s * head;
+            for i in (k + 1)..m {
+                b[i] -= s * self.qr[(i, k)];
+            }
+        }
+    }
+
+    /// Solve the least-squares problem `min ||A x - b||_2`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::ShapeMismatch`] when `b.len() != rows`,
+    /// * [`LinalgError::Singular`] when `A` is rank deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinalgError::ShapeMismatch {
+                op: "qr_solve",
+                left: (m, n),
+                right: (b.len(), 1),
+            });
+        }
+        if !self.is_full_rank() {
+            return Err(LinalgError::Singular);
+        }
+        let mut y = b.to_vec();
+        self.apply_q_transpose(&mut y);
+
+        // Back substitution on the top n x n triangle of R.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for (j, xj) in x.iter().enumerate().skip(i + 1) {
+                sum -= self.qr[(i, j)] * xj;
+            }
+            x[i] = sum / self.qr[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Reconstruct the explicit `R` factor (`n x n` upper triangular).
+    pub fn r(&self) -> Matrix {
+        let n = self.cols();
+        Matrix::from_fn(n, n, |i, j| if j >= i { self.qr[(i, j)] } else { 0.0 })
+    }
+
+    /// Reconstruct the explicit thin `Q` factor (`m x n`, orthonormal
+    /// columns). Intended for tests and diagnostics, not hot paths.
+    pub fn q(&self) -> Matrix {
+        let (m, n) = self.qr.shape();
+        let mut q = Matrix::from_fn(m, n, |i, j| if i == j { 1.0 } else { 0.0 });
+        // Q = H_0 H_1 ... H_{n-1} applied to the thin identity; apply in
+        // reverse order.
+        for k in (0..n).rev() {
+            let t = self.tau[k];
+            if t == 0.0 {
+                continue;
+            }
+            let head = self.reflector_heads[k];
+            for j in 0..n {
+                let mut s = head * q[(k, j)];
+                for i in (k + 1)..m {
+                    s += self.qr[(i, k)] * q[(i, j)];
+                }
+                s *= t;
+                q[(k, j)] -= s * head;
+                for i in (k + 1)..m {
+                    let vik = self.qr[(i, k)];
+                    q[(i, j)] -= s * vik;
+                }
+            }
+        }
+        q
+    }
+}
+
+/// Convenience: one-shot least-squares solve of `min ||A x - b||`.
+///
+/// # Errors
+/// See [`QrDecomposition::new`] and [`QrDecomposition::solve_least_squares`].
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    QrDecomposition::new(a)?.solve_least_squares(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_square_system() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn overdetermined_line_fit() {
+        // Fit y = 2x + 1 through 5 exact points using columns [x, 1].
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { xs[i] } else { 1.0 });
+        let b: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let coef = least_squares(&a, &b).unwrap();
+        assert!((coef[0] - 2.0).abs() < 1e-10);
+        assert!((coef[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal_to_columns() {
+        // Noisy overdetermined system: residual must be orthogonal to col(A).
+        let a = Matrix::from_fn(8, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin() + 0.1 * j as f64);
+        let b: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos() * 2.0).collect();
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
+        let atr = a.t_matvec(&r).unwrap();
+        for v in atr {
+            assert!(v.abs() < 1e-8, "A^T r component {v} not ~0");
+        }
+    }
+
+    #[test]
+    fn q_is_orthonormal_and_qr_reconstructs_a() {
+        let a = Matrix::from_fn(6, 4, |i, j| ((i as f64 + 1.0) * (j as f64 + 0.5)).sin());
+        let qr = QrDecomposition::new(&a).unwrap();
+        let q = qr.q();
+        let r = qr.r();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert!(qtq.approx_eq(&Matrix::identity(4), 1e-9), "QᵀQ != I");
+        let rebuilt = q.matmul(&r).unwrap();
+        assert!(rebuilt.approx_eq(&a, 1e-9), "QR != A");
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            QrDecomposition::new(&a),
+            Err(LinalgError::Underdetermined { rows: 2, cols: 3 })
+        ));
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Second column is 2x the first.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(!qr.is_full_rank());
+        assert_eq!(
+            qr.solve_least_squares(&[1.0, 2.0, 3.0]).unwrap_err(),
+            LinalgError::Singular
+        );
+    }
+
+    #[test]
+    fn zero_column_detected() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0]]);
+        assert!(!QrDecomposition::new(&a).unwrap().is_full_rank());
+    }
+
+    #[test]
+    fn empty_and_nonfinite_rejected() {
+        assert_eq!(
+            QrDecomposition::new(&Matrix::zeros(0, 2)).unwrap_err(),
+            LinalgError::Empty
+        );
+        let mut a = Matrix::identity(2);
+        a[(1, 0)] = f64::INFINITY;
+        assert_eq!(QrDecomposition::new(&a).unwrap_err(), LinalgError::NonFinite);
+    }
+
+    #[test]
+    fn rhs_length_checked() {
+        let a = Matrix::identity(3);
+        let qr = QrDecomposition::new(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn agrees_with_lu_on_square_systems() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0, 0.3], &[1.0, 5.0, 1.1], &[0.3, 1.1, 6.0]]);
+        let b = [1.0, -2.0, 0.5];
+        let x_qr = least_squares(&a, &b).unwrap();
+        let x_lu = crate::lu::solve(&a, &b).unwrap();
+        for (p, q) in x_qr.iter().zip(x_lu.iter()) {
+            assert!((p - q).abs() < 1e-9);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recovers_planted_solution(
+            m in 4usize..12, n in 1usize..4, seed in 0u64..300
+        ) {
+            prop_assume!(m > n);
+            // Well-conditioned A: deterministic pseudo-random entries plus a
+            // diagonal boost on the top block.
+            let mut a = Matrix::from_fn(m, n, |i, j| {
+                (((i * 13 + j * 29) as u64 ^ seed) as f64 * 0.217).sin()
+            });
+            for k in 0..n {
+                a[(k, k)] += 3.0;
+            }
+            let x_true: Vec<f64> = (0..n).map(|j| (j as f64 + 1.0) * 0.5).collect();
+            let b = a.matvec(&x_true).unwrap();
+            let x = least_squares(&a, &b).unwrap();
+            for (got, want) in x.iter().zip(x_true.iter()) {
+                prop_assert!((got - want).abs() < 1e-7);
+            }
+        }
+
+        #[test]
+        fn qtq_identity(m in 2usize..9, n in 1usize..5, seed in 0u64..300) {
+            prop_assume!(m >= n);
+            let mut a = Matrix::from_fn(m, n, |i, j| {
+                (((i * 7 + j * 3) as u64 ^ seed) as f64 * 0.531).cos()
+            });
+            for k in 0..n {
+                a[(k, k)] += 2.0;
+            }
+            let qr = QrDecomposition::new(&a).unwrap();
+            let q = qr.q();
+            let qtq = q.transpose().matmul(&q).unwrap();
+            prop_assert!(qtq.approx_eq(&Matrix::identity(n), 1e-8));
+        }
+    }
+}

@@ -1,0 +1,429 @@
+//! Ordinary least squares / ridge regression with an intercept.
+//!
+//! This is the kernel behind every rule's predicting part: the paper fits the
+//! hyperplane `v ≈ a_0 x_i + a_1 x_{i+1} + ... + a_{D-1} x_{i+D-1} + a_D`
+//! over the windows matched by the rule's condition and takes the maximum
+//! absolute residual as the rule's expected error.
+//!
+//! Two solver paths are provided:
+//!
+//! * **QR** (default) — numerically robust; used when the design matrix has
+//!   full column rank.
+//! * **Ridge-regularized normal equations** — the fallback for rank-deficient
+//!   designs (e.g. a rule whose matched windows are collinear, or fewer
+//!   windows than inputs). A tiny Tikhonov term keeps the system solvable and
+//!   bounds the coefficients, which is exactly the behaviour the evolutionary
+//!   engine needs: a degenerate rule should still get *some* prediction and a
+//!   large-ish error rather than aborting the generation.
+
+use crate::error::LinalgError;
+use crate::lu::LuDecomposition;
+use crate::matrix::Matrix;
+use crate::qr::QrDecomposition;
+use crate::vector;
+
+/// Options controlling the regression solve.
+#[derive(Debug, Clone, Copy)]
+pub struct RegressionOptions {
+    /// Ridge (Tikhonov) penalty applied when the QR path reports rank
+    /// deficiency, or always when [`RegressionOptions::force_ridge`] is set.
+    pub ridge_lambda: f64,
+    /// Skip QR and always solve ridge-regularized normal equations. This is
+    /// the fast path for the evolutionary hot loop: forming the Gram matrix
+    /// costs `O(n·d²/2)` and solving `O(d³)`, with no `O(n·d²)` reflector
+    /// sweeps.
+    pub force_ridge: bool,
+    /// Fit an intercept column (the paper's `a_D` term). Almost always true.
+    pub intercept: bool,
+}
+
+impl Default for RegressionOptions {
+    fn default() -> Self {
+        RegressionOptions {
+            ridge_lambda: 1e-8,
+            force_ridge: false,
+            intercept: true,
+        }
+    }
+}
+
+impl RegressionOptions {
+    /// Preset used by the evolutionary engine's offspring evaluation.
+    pub fn fast() -> Self {
+        RegressionOptions {
+            ridge_lambda: 1e-6,
+            force_ridge: true,
+            intercept: true,
+        }
+    }
+}
+
+/// A fitted linear model `y ≈ coefficients · x + intercept`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearRegression {
+    coefficients: Vec<f64>,
+    intercept: f64,
+}
+
+impl LinearRegression {
+    /// Fit with default options (QR, intercept, tiny ridge fallback).
+    ///
+    /// `xs` is `n x d` (one observation per row), `ys` has length `n`.
+    ///
+    /// # Errors
+    /// * [`LinalgError::ShapeMismatch`] when `ys.len() != xs.rows()`,
+    /// * [`LinalgError::Empty`] when there are zero observations or features,
+    /// * [`LinalgError::NonFinite`] on NaN/inf input,
+    /// * [`LinalgError::Singular`] when even the ridge system fails.
+    pub fn fit(xs: &Matrix, ys: &[f64]) -> Result<Self, LinalgError> {
+        Self::fit_with(xs, ys, RegressionOptions::default())
+    }
+
+    /// Fit with explicit options.
+    ///
+    /// # Errors
+    /// See [`LinearRegression::fit`].
+    pub fn fit_with(
+        xs: &Matrix,
+        ys: &[f64],
+        opts: RegressionOptions,
+    ) -> Result<Self, LinalgError> {
+        let (n, d) = xs.shape();
+        if ys.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "regression_fit",
+                left: (n, d),
+                right: (ys.len(), 1),
+            });
+        }
+        if n == 0 || d == 0 {
+            return Err(LinalgError::Empty);
+        }
+        if !xs.all_finite() || !vector::all_finite(ys) {
+            return Err(LinalgError::NonFinite);
+        }
+
+        let p = if opts.intercept { d + 1 } else { d };
+
+        // Try QR on the (possibly intercept-augmented) design when allowed
+        // and the system is overdetermined.
+        if !opts.force_ridge && n >= p {
+            let design = if opts.intercept {
+                Matrix::from_fn(n, p, |i, j| if j < d { xs[(i, j)] } else { 1.0 })
+            } else {
+                xs.clone()
+            };
+            match QrDecomposition::new(&design).and_then(|qr| qr.solve_least_squares(ys)) {
+                Ok(beta) => return Ok(Self::from_beta(beta, opts.intercept)),
+                Err(LinalgError::Singular) => { /* fall through to ridge */ }
+                Err(e) => return Err(e),
+            }
+        }
+
+        Self::fit_ridge_normal_equations(xs, ys, opts)
+    }
+
+    /// Ridge path: solve `(XᵀX + λI) β = Xᵀy` on the augmented design. The
+    /// Gram matrix is accumulated row-by-row without materializing the
+    /// augmented matrix.
+    fn fit_ridge_normal_equations(
+        xs: &Matrix,
+        ys: &[f64],
+        opts: RegressionOptions,
+    ) -> Result<Self, LinalgError> {
+        let (n, d) = xs.shape();
+        let p = if opts.intercept { d + 1 } else { d };
+        let mut gram = Matrix::zeros(p, p);
+        let mut xty = vec![0.0; p];
+
+        let mut row_buf = vec![0.0; p];
+        for i in 0..n {
+            let row = xs.row(i);
+            row_buf[..d].copy_from_slice(row);
+            if opts.intercept {
+                row_buf[d] = 1.0;
+            }
+            for a in 0..p {
+                let ra = row_buf[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                let grow = gram.row_mut(a);
+                for b in a..p {
+                    grow[b] += ra * row_buf[b];
+                }
+            }
+            vector::axpy(ys[i], &row_buf, &mut xty);
+        }
+        // Mirror the upper triangle and add the ridge term. Scale λ by the
+        // trace so the regularization strength is data-relative.
+        let mut trace = 0.0;
+        for a in 0..p {
+            trace += gram[(a, a)];
+        }
+        let lambda = opts.ridge_lambda.max(f64::MIN_POSITIVE) * (trace / p as f64).max(1.0);
+        for a in 0..p {
+            for b in 0..a {
+                gram[(a, b)] = gram[(b, a)];
+            }
+            gram[(a, a)] += lambda;
+        }
+
+        let beta = LuDecomposition::new(&gram)?.solve(&xty)?;
+        Ok(Self::from_beta(beta, opts.intercept))
+    }
+
+    fn from_beta(mut beta: Vec<f64>, intercept: bool) -> Self {
+        let b0 = if intercept { beta.pop().unwrap_or(0.0) } else { 0.0 };
+        LinearRegression {
+            coefficients: beta,
+            intercept: b0,
+        }
+    }
+
+    /// Slope coefficients (length = number of features).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Intercept term (the paper's `a_D`); `0.0` when fitted without one.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Predict a single observation.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `x.len()` differs from the feature count.
+    #[inline]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.coefficients.len(), "feature count mismatch");
+        vector::dot_unchecked(&self.coefficients, x) + self.intercept
+    }
+
+    /// Predict every row of `xs`.
+    pub fn predict_batch(&self, xs: &Matrix) -> Vec<f64> {
+        (0..xs.rows()).map(|i| self.predict(xs.row(i))).collect()
+    }
+
+    /// Maximum absolute residual over a dataset — the paper's `e_R`.
+    pub fn max_abs_residual(&self, xs: &Matrix, ys: &[f64]) -> f64 {
+        (0..xs.rows())
+            .map(|i| (ys[i] - self.predict(xs.row(i))).abs())
+            .fold(0.0_f64, f64::max)
+    }
+
+    /// Mean squared residual over a dataset.
+    pub fn mean_squared_residual(&self, xs: &Matrix, ys: &[f64]) -> f64 {
+        if xs.rows() == 0 {
+            return 0.0;
+        }
+        let sum: f64 = (0..xs.rows())
+            .map(|i| {
+                let r = ys[i] - self.predict(xs.row(i));
+                r * r
+            })
+            .sum();
+        sum / xs.rows() as f64
+    }
+
+    /// Build a model directly from known parameters (used by tests and by
+    /// rule serialization round-trips).
+    pub fn from_parameters(coefficients: Vec<f64>, intercept: f64) -> Self {
+        LinearRegression {
+            coefficients,
+            intercept,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn design(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+
+    #[test]
+    fn fits_exact_line() {
+        let xs = design(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-10);
+        assert!((fit.intercept() - 1.0).abs() < 1e-10);
+        assert!(fit.max_abs_residual(&xs, &ys) < 1e-10);
+    }
+
+    #[test]
+    fn fits_exact_plane_two_features() {
+        // y = 3*x0 - 2*x1 + 0.5
+        let xs = design(&[
+            &[0.0, 0.0],
+            &[1.0, 0.0],
+            &[0.0, 1.0],
+            &[1.0, 1.0],
+            &[2.0, 1.0],
+        ]);
+        let ys: Vec<f64> = (0..xs.rows())
+            .map(|i| 3.0 * xs[(i, 0)] - 2.0 * xs[(i, 1)] + 0.5)
+            .collect();
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.coefficients()[0] - 3.0).abs() < 1e-9);
+        assert!((fit.coefficients()[1] + 2.0).abs() < 1e-9);
+        assert!((fit.intercept() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_intercept_mode() {
+        let xs = design(&[&[1.0], &[2.0], &[3.0]]);
+        let ys = [2.0, 4.0, 6.0];
+        let opts = RegressionOptions {
+            intercept: false,
+            ..Default::default()
+        };
+        let fit = LinearRegression::fit_with(&xs, &ys, opts).unwrap();
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-10);
+        assert_eq!(fit.intercept(), 0.0);
+    }
+
+    #[test]
+    fn ridge_path_handles_single_observation() {
+        // One observation, one feature + intercept: underdetermined; ridge
+        // must still return finite parameters that roughly reproduce y.
+        let xs = design(&[&[2.0]]);
+        let ys = [10.0];
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!(fit.coefficients()[0].is_finite());
+        assert!(fit.intercept().is_finite());
+        assert!((fit.predict(&[2.0]) - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ridge_path_handles_collinear_features() {
+        // x1 = 2*x0 exactly: QR reports Singular, ridge fallback must fit.
+        let xs = design(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0], &[4.0, 8.0]]);
+        let ys = [5.0, 10.0, 15.0, 20.0];
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        for (i, y) in ys.iter().enumerate() {
+            assert!((fit.predict(xs.row(i)) - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn constant_feature_column_is_fine_with_intercept_via_ridge() {
+        // A constant feature is collinear with the intercept.
+        let xs = design(&[&[1.0], &[1.0], &[1.0]]);
+        let ys = [4.0, 4.0, 4.0];
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        assert!((fit.predict(&[1.0]) - 4.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fast_options_force_ridge() {
+        let xs = design(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = LinearRegression::fit_with(&xs, &ys, RegressionOptions::fast()).unwrap();
+        // Ridge shrinks slightly; still near the true line.
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-3);
+        assert!((fit.intercept() - 1.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn shape_and_emptiness_errors() {
+        let xs = design(&[&[1.0], &[2.0]]);
+        assert!(matches!(
+            LinearRegression::fit(&xs, &[1.0]),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(
+            LinearRegression::fit(&Matrix::zeros(0, 1), &[]),
+            Err(LinalgError::Empty)
+        ));
+        assert!(matches!(
+            LinearRegression::fit(&Matrix::zeros(2, 0), &[1.0, 2.0]),
+            Err(LinalgError::Empty)
+        ));
+    }
+
+    #[test]
+    fn nan_rejected() {
+        let xs = design(&[&[1.0], &[f64::NAN]]);
+        assert_eq!(
+            LinearRegression::fit(&xs, &[1.0, 2.0]).unwrap_err(),
+            LinalgError::NonFinite
+        );
+        let xs_ok = design(&[&[1.0], &[2.0]]);
+        assert_eq!(
+            LinearRegression::fit(&xs_ok, &[1.0, f64::INFINITY]).unwrap_err(),
+            LinalgError::NonFinite
+        );
+    }
+
+    #[test]
+    fn residual_helpers() {
+        let xs = design(&[&[0.0], &[1.0], &[2.0]]);
+        let ys = [0.0, 1.0, 4.0]; // not a perfect line
+        let fit = LinearRegression::fit(&xs, &ys).unwrap();
+        let max_r = fit.max_abs_residual(&xs, &ys);
+        let mse = fit.mean_squared_residual(&xs, &ys);
+        assert!(max_r > 0.0);
+        assert!(mse > 0.0);
+        assert!(mse <= max_r * max_r + 1e-12);
+        assert_eq!(fit.mean_squared_residual(&Matrix::zeros(0, 1), &[]), 0.0);
+    }
+
+    #[test]
+    fn predict_batch_matches_predict() {
+        let xs = design(&[&[0.5, 1.0], &[1.5, -1.0], &[2.5, 0.0]]);
+        let fit = LinearRegression::from_parameters(vec![2.0, -1.0], 0.25);
+        let batch = fit.predict_batch(&xs);
+        for (i, &b) in batch.iter().enumerate() {
+            assert!((b - fit.predict(xs.row(i))).abs() < 1e-15);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn recovers_planted_model(
+            n in 6usize..40,
+            d in 1usize..5,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(n > d + 1);
+            // Distinct irrational frequency per column keeps the design well
+            // conditioned for any (n, d) drawn by proptest.
+            let xs = Matrix::from_fn(n, d, |i, j| {
+                (i as f64 * (0.713 + 0.317 * j as f64) + seed as f64 * 0.01).sin() * 5.0
+            });
+            let true_coef: Vec<f64> = (0..d).map(|j| (j as f64) - 1.5).collect();
+            let ys: Vec<f64> = (0..n)
+                .map(|i| vector::dot_unchecked(xs.row(i), &true_coef) + 0.75)
+                .collect();
+            let fit = LinearRegression::fit(&xs, &ys).unwrap();
+            for (got, want) in fit.coefficients().iter().zip(true_coef.iter()) {
+                prop_assert!((got - want).abs() < 1e-6);
+            }
+            prop_assert!((fit.intercept() - 0.75).abs() < 1e-6);
+        }
+
+        #[test]
+        fn ols_beats_or_ties_mean_predictor(
+            n in 4usize..30,
+            seed in 0u64..500,
+        ) {
+            let xs = Matrix::from_fn(n, 1, |i, _| {
+                ((i as u64 ^ seed) as f64 * 0.37).sin() * 3.0
+            });
+            let ys: Vec<f64> = (0..n)
+                .map(|i| ((i as u64 ^ seed.wrapping_mul(3)) as f64 * 0.53).cos())
+                .collect();
+            let fit = LinearRegression::fit(&xs, &ys).unwrap();
+            let mse_fit = fit.mean_squared_residual(&xs, &ys);
+            let mean = ys.iter().sum::<f64>() / n as f64;
+            let mse_mean = ys.iter().map(|y| (y - mean) * (y - mean)).sum::<f64>() / n as f64;
+            prop_assert!(mse_fit <= mse_mean + 1e-9);
+        }
+    }
+}

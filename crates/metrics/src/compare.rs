@@ -1,0 +1,231 @@
+//! Paired bootstrap comparison of two forecasting systems.
+//!
+//! The paper's tables claim "RS beats NN"; at reproduction scale those
+//! claims should carry uncertainty. [`bootstrap_rmse_diff`] resamples the
+//! *common* evaluation points (both systems predicted) with replacement and
+//! reports a confidence interval for `RMSE(A) − RMSE(B)`: an interval
+//! entirely below zero means A's advantage survives resampling noise.
+
+use crate::error::MetricError;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a paired bootstrap comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapComparison {
+    /// Point estimate of `RMSE(A) − RMSE(B)` on the full sample.
+    pub rmse_diff: f64,
+    /// Lower edge of the confidence interval.
+    pub ci_low: f64,
+    /// Upper edge of the confidence interval.
+    pub ci_high: f64,
+    /// Fraction of resamples where A had strictly lower RMSE.
+    pub a_wins_fraction: f64,
+    /// Number of paired points used.
+    pub points: usize,
+}
+
+impl BootstrapComparison {
+    /// Does the interval exclude zero (a resampling-stable winner)?
+    pub fn significant(&self) -> bool {
+        self.ci_low > 0.0 || self.ci_high < 0.0
+    }
+}
+
+fn rmse_of_indices(actual: &[f64], predicted: &[f64], idx: &[usize]) -> f64 {
+    let sum: f64 = idx
+        .iter()
+        .map(|&i| {
+            let e = actual[i] - predicted[i];
+            e * e
+        })
+        .sum();
+    (sum / idx.len() as f64).sqrt()
+}
+
+/// Paired bootstrap CI for `RMSE(A) − RMSE(B)` at confidence `1 − alpha`.
+///
+/// All three slices are aligned: `actual[i]`, `pred_a[i]`, `pred_b[i]`
+/// describe the same evaluation point.
+///
+/// # Errors
+/// * [`MetricError::LengthMismatch`] on inconsistent slices,
+/// * [`MetricError::Empty`] with no points,
+/// * [`MetricError::Degenerate`] for `iterations == 0` or `alpha` outside
+///   `(0, 1)`.
+pub fn bootstrap_rmse_diff(
+    actual: &[f64],
+    pred_a: &[f64],
+    pred_b: &[f64],
+    iterations: usize,
+    alpha: f64,
+    seed: u64,
+) -> Result<BootstrapComparison, MetricError> {
+    if actual.len() != pred_a.len() {
+        return Err(MetricError::LengthMismatch {
+            actual: actual.len(),
+            predicted: pred_a.len(),
+        });
+    }
+    if actual.len() != pred_b.len() {
+        return Err(MetricError::LengthMismatch {
+            actual: actual.len(),
+            predicted: pred_b.len(),
+        });
+    }
+    if actual.is_empty() {
+        return Err(MetricError::Empty);
+    }
+    if iterations == 0 {
+        return Err(MetricError::Degenerate("bootstrap needs iterations >= 1"));
+    }
+    if !(alpha > 0.0 && alpha < 1.0) {
+        return Err(MetricError::Degenerate("alpha must be in (0, 1)"));
+    }
+
+    let n = actual.len();
+    let full: Vec<usize> = (0..n).collect();
+    let point = rmse_of_indices(actual, pred_a, &full) - rmse_of_indices(actual, pred_b, &full);
+
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut diffs = Vec::with_capacity(iterations);
+    let mut a_wins = 0usize;
+    let mut idx = vec![0usize; n];
+    for _ in 0..iterations {
+        for slot in idx.iter_mut() {
+            *slot = rng.gen_range(0..n);
+        }
+        let d = rmse_of_indices(actual, pred_a, &idx) - rmse_of_indices(actual, pred_b, &idx);
+        if d < 0.0 {
+            a_wins += 1;
+        }
+        diffs.push(d);
+    }
+    diffs.sort_by(|a, b| a.total_cmp(b));
+    let lo_idx = ((alpha / 2.0) * iterations as f64) as usize;
+    let hi_idx = (((1.0 - alpha / 2.0) * iterations as f64) as usize).min(iterations - 1);
+
+    Ok(BootstrapComparison {
+        rmse_diff: point,
+        ci_low: diffs[lo_idx],
+        ci_high: diffs[hi_idx],
+        a_wins_fraction: a_wins as f64 / iterations as f64,
+        points: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-noise in [-1, 1].
+    fn noise(i: usize, seed: u64) -> f64 {
+        (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) as f64
+            / 2.0_f64.powi(30))
+            - 1.0
+    }
+
+    fn scenario(n: usize, err_a: f64, err_b: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        let actual: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let pa: Vec<f64> = actual
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + err_a * noise(i, 1))
+            .collect();
+        let pb: Vec<f64> = actual
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + err_b * noise(i, 2))
+            .collect();
+        (actual, pa, pb)
+    }
+
+    #[test]
+    fn clear_winner_is_significant() {
+        let (actual, pa, pb) = scenario(400, 0.05, 0.5);
+        let c = bootstrap_rmse_diff(&actual, &pa, &pb, 500, 0.05, 9).unwrap();
+        assert!(c.rmse_diff < 0.0, "A should have lower RMSE");
+        assert!(c.significant(), "CI [{}, {}]", c.ci_low, c.ci_high);
+        assert!(c.ci_high < 0.0);
+        assert!(c.a_wins_fraction > 0.99);
+        assert_eq!(c.points, 400);
+    }
+
+    #[test]
+    fn identical_systems_are_not_significant() {
+        let actual: Vec<f64> = (0..200).map(|i| (i as f64 * 0.2).cos()).collect();
+        let pred: Vec<f64> = actual.iter().map(|x| x + 0.1).collect();
+        let c = bootstrap_rmse_diff(&actual, &pred, &pred, 300, 0.05, 3).unwrap();
+        assert_eq!(c.rmse_diff, 0.0);
+        assert!(!c.significant());
+    }
+
+    #[test]
+    fn true_tie_is_not_significant() {
+        // B gets A's exact error multiset, rotated to different points: full-
+        // sample RMSEs are identical, resamples scatter symmetrically, so
+        // the interval must straddle zero.
+        let n = 100;
+        let actual: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin()).collect();
+        let errors: Vec<f64> = (0..n).map(|i| 0.3 * noise(i, 1)).collect();
+        let pa: Vec<f64> = actual.iter().zip(&errors).map(|(x, e)| x + e).collect();
+        let pb: Vec<f64> = actual
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x + errors[(i + 37) % n])
+            .collect();
+        let c = bootstrap_rmse_diff(&actual, &pa, &pb, 500, 0.05, 5).unwrap();
+        assert!((c.rmse_diff).abs() < 1e-12, "full-sample tie by construction");
+        assert!(
+            c.ci_low < 0.0 && c.ci_high > 0.0,
+            "CI [{}, {}] should straddle zero",
+            c.ci_low,
+            c.ci_high
+        );
+        assert!(!c.significant());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let a = [1.0, 2.0];
+        assert!(matches!(
+            bootstrap_rmse_diff(&a, &a[..1], &a, 10, 0.05, 1),
+            Err(MetricError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            bootstrap_rmse_diff(&a, &a, &a[..1], 10, 0.05, 1),
+            Err(MetricError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            bootstrap_rmse_diff(&[], &[], &[], 10, 0.05, 1),
+            Err(MetricError::Empty)
+        ));
+        assert!(matches!(
+            bootstrap_rmse_diff(&a, &a, &a, 0, 0.05, 1),
+            Err(MetricError::Degenerate(_))
+        ));
+        assert!(matches!(
+            bootstrap_rmse_diff(&a, &a, &a, 10, 1.5, 1),
+            Err(MetricError::Degenerate(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (actual, pa, pb) = scenario(150, 0.1, 0.2);
+        let c1 = bootstrap_rmse_diff(&actual, &pa, &pb, 200, 0.1, 42).unwrap();
+        let c2 = bootstrap_rmse_diff(&actual, &pa, &pb, 200, 0.1, 42).unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn wider_alpha_gives_narrower_interval() {
+        let (actual, pa, pb) = scenario(300, 0.2, 0.25);
+        let tight = bootstrap_rmse_diff(&actual, &pa, &pb, 800, 0.01, 7).unwrap();
+        let loose = bootstrap_rmse_diff(&actual, &pa, &pb, 800, 0.2, 7).unwrap();
+        let tight_width = tight.ci_high - tight.ci_low;
+        let loose_width = loose.ci_high - loose.ci_low;
+        assert!(loose_width < tight_width);
+    }
+}

@@ -1,0 +1,52 @@
+//! Error type for metric computations.
+
+use std::fmt;
+
+/// Errors produced when computing forecast metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// Actual and predicted slices have different lengths.
+    LengthMismatch {
+        /// Length of the actual-values slice.
+        actual: usize,
+        /// Length of the predicted-values slice.
+        predicted: usize,
+    },
+    /// The metric requires at least one pair.
+    Empty,
+    /// The metric is mathematically undefined for this input
+    /// (e.g. NMSE of a constant series).
+    Degenerate(&'static str),
+}
+
+impl fmt::Display for MetricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricError::LengthMismatch { actual, predicted } => write!(
+                f,
+                "length mismatch: {actual} actual values vs {predicted} predictions"
+            ),
+            MetricError::Empty => write!(f, "metric requires at least one (actual, predicted) pair"),
+            MetricError::Degenerate(why) => write!(f, "metric undefined: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = MetricError::LengthMismatch {
+            actual: 3,
+            predicted: 5,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("5"));
+        assert!(MetricError::Empty.to_string().contains("at least one"));
+        assert!(MetricError::Degenerate("why").to_string().contains("why"));
+    }
+}

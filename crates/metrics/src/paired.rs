@@ -1,0 +1,208 @@
+//! One-pass accumulation of (actual, predicted) pairs with abstentions.
+//!
+//! The experiment loop walks validation windows once; for each it gets either
+//! `Some(prediction)` or an abstention. [`PairedErrors`] collects the pairs
+//! that *were* predicted (for error metrics over the predicted subset, as the
+//! paper computes them) and the coverage counts, in a single structure.
+
+use crate::coverage::CoverageAccumulator;
+use crate::error::MetricError;
+use crate::{half_mse, mae, max_abs_error, mse, nmse, rmse};
+
+/// Accumulates prediction outcomes over a validation sweep.
+///
+/// ```
+/// use evoforecast_metrics::PairedErrors;
+///
+/// let mut pairs = PairedErrors::new();
+/// pairs.record(10.0, Some(10.5)); // predicted
+/// pairs.record(12.0, None);       // the system abstained
+/// assert_eq!(pairs.coverage_percentage(), Some(50.0));
+/// assert!((pairs.rmse().unwrap() - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PairedErrors {
+    actual: Vec<f64>,
+    predicted: Vec<f64>,
+    coverage: CoverageAccumulator,
+}
+
+impl PairedErrors {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-allocate for an expected number of evaluation points.
+    pub fn with_capacity(n: usize) -> Self {
+        PairedErrors {
+            actual: Vec::with_capacity(n),
+            predicted: Vec::with_capacity(n),
+            coverage: CoverageAccumulator::new(),
+        }
+    }
+
+    /// Record one evaluation point. `prediction = None` means the system
+    /// abstained; the pair is excluded from error metrics but counted in
+    /// coverage.
+    pub fn record(&mut self, actual: f64, prediction: Option<f64>) {
+        self.coverage.record(prediction);
+        if let Some(p) = prediction {
+            self.actual.push(actual);
+            self.predicted.push(p);
+        }
+    }
+
+    /// Number of points that received predictions.
+    pub fn predicted_count(&self) -> usize {
+        self.actual.len()
+    }
+
+    /// Coverage counters.
+    pub fn coverage(&self) -> &CoverageAccumulator {
+        &self.coverage
+    }
+
+    /// Percentage of prediction; `None` before any point is recorded.
+    pub fn coverage_percentage(&self) -> Option<f64> {
+        self.coverage.percentage()
+    }
+
+    /// The actual values of the predicted subset.
+    pub fn actual(&self) -> &[f64] {
+        &self.actual
+    }
+
+    /// The predictions of the predicted subset.
+    pub fn predicted(&self) -> &[f64] {
+        &self.predicted
+    }
+
+    /// RMSE over the predicted subset.
+    ///
+    /// # Errors
+    /// [`MetricError::Empty`] when no point was predicted.
+    pub fn rmse(&self) -> Result<f64, MetricError> {
+        rmse(&self.actual, &self.predicted)
+    }
+
+    /// MSE over the predicted subset.
+    ///
+    /// # Errors
+    /// [`MetricError::Empty`] when no point was predicted.
+    pub fn mse(&self) -> Result<f64, MetricError> {
+        mse(&self.actual, &self.predicted)
+    }
+
+    /// MAE over the predicted subset.
+    ///
+    /// # Errors
+    /// [`MetricError::Empty`] when no point was predicted.
+    pub fn mae(&self) -> Result<f64, MetricError> {
+        mae(&self.actual, &self.predicted)
+    }
+
+    /// Maximum absolute error over the predicted subset.
+    ///
+    /// # Errors
+    /// [`MetricError::Empty`] when no point was predicted.
+    pub fn max_abs_error(&self) -> Result<f64, MetricError> {
+        max_abs_error(&self.actual, &self.predicted)
+    }
+
+    /// NMSE over the predicted subset.
+    ///
+    /// # Errors
+    /// [`MetricError::Empty`] / [`MetricError::Degenerate`].
+    pub fn nmse(&self) -> Result<f64, MetricError> {
+        nmse(&self.actual, &self.predicted)
+    }
+
+    /// The paper's sunspot half-MSE over the predicted subset.
+    ///
+    /// # Errors
+    /// [`MetricError::Empty`] when no point was predicted.
+    pub fn half_mse(&self, horizon: usize) -> Result<f64, MetricError> {
+        half_mse(&self.actual, &self.predicted, horizon)
+    }
+
+    /// Merge another accumulator (parallel evaluation workers).
+    pub fn merge(&mut self, other: &PairedErrors) {
+        self.actual.extend_from_slice(&other.actual);
+        self.predicted.extend_from_slice(&other.predicted);
+        self.coverage.merge(&other.coverage);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_computes() {
+        let mut pe = PairedErrors::new();
+        pe.record(1.0, Some(1.5));
+        pe.record(2.0, None);
+        pe.record(3.0, Some(3.0));
+        assert_eq!(pe.predicted_count(), 2);
+        assert_eq!(pe.coverage().total(), 3);
+        assert!((pe.coverage_percentage().unwrap() - 200.0 / 3.0).abs() < 1e-9);
+        // errors over predicted subset only: (0.5, 0.0)
+        assert!((pe.mse().unwrap() - 0.125).abs() < 1e-12);
+        assert!((pe.max_abs_error().unwrap() - 0.5).abs() < 1e-12);
+        assert!((pe.mae().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_abstained_gives_empty_error() {
+        let mut pe = PairedErrors::new();
+        pe.record(1.0, None);
+        pe.record(2.0, None);
+        assert_eq!(pe.predicted_count(), 0);
+        assert_eq!(pe.coverage_percentage(), Some(0.0));
+        assert!(matches!(pe.rmse(), Err(MetricError::Empty)));
+    }
+
+    #[test]
+    fn empty_accumulator() {
+        let pe = PairedErrors::new();
+        assert_eq!(pe.coverage_percentage(), None);
+        assert!(pe.rmse().is_err());
+    }
+
+    #[test]
+    fn half_mse_delegates_with_horizon() {
+        let mut pe = PairedErrors::with_capacity(2);
+        pe.record(1.0, Some(2.0));
+        pe.record(2.0, Some(2.0));
+        // sum_sq = 1.0, N = 1, tau = 4 -> 1 / (2*5) = 0.1
+        assert!((pe.half_mse(4).unwrap() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_combines_subsets() {
+        let mut a = PairedErrors::new();
+        a.record(1.0, Some(1.0));
+        a.record(5.0, None);
+        let mut b = PairedErrors::new();
+        b.record(2.0, Some(3.0));
+        a.merge(&b);
+        assert_eq!(a.predicted_count(), 2);
+        assert_eq!(a.coverage().total(), 3);
+        assert_eq!(a.actual(), &[1.0, 2.0]);
+        assert_eq!(a.predicted(), &[1.0, 3.0]);
+    }
+
+    #[test]
+    fn nmse_on_predicted_subset() {
+        let mut pe = PairedErrors::new();
+        for (i, v) in [1.0, 2.0, 3.0, 4.0, 5.0].iter().enumerate() {
+            // Predict the mean (3.0) for all but one abstention.
+            let pred = if i == 2 { None } else { Some(3.0) };
+            pe.record(*v, pred);
+        }
+        // Predicted subset: actual [1,2,4,5], all predicted 3.0.
+        // NMSE of mean predictor over that subset == 1.0 (mean of subset is 3).
+        assert!((pe.nmse().unwrap() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Serializable per-experiment evaluation report.
+//!
+//! One [`EvaluationReport`] corresponds to one row of one of the paper's
+//! tables: a prediction horizon, the coverage percentage, and whichever error
+//! measures that table reports. The bench harness serializes reports to JSON
+//! so EXPERIMENTS.md numbers are regenerable artifacts.
+
+use crate::error::MetricError;
+use crate::paired::PairedErrors;
+use serde::{Deserialize, Serialize};
+
+/// Results of evaluating one forecasting system at one prediction horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationReport {
+    /// Name of the system evaluated (e.g. `"rule-system"`, `"mlp"`).
+    pub system: String,
+    /// Prediction horizon τ.
+    pub horizon: usize,
+    /// Number of evaluation points seen (predicted + abstained).
+    pub total_points: usize,
+    /// Number of points that received a prediction.
+    pub predicted_points: usize,
+    /// Percentage of prediction (0–100); `None` when nothing was evaluated.
+    pub coverage_pct: Option<f64>,
+    /// Root mean squared error over the predicted subset.
+    pub rmse: Option<f64>,
+    /// Normalized MSE over the predicted subset.
+    pub nmse: Option<f64>,
+    /// The paper's sunspot half-MSE over the predicted subset.
+    pub half_mse: Option<f64>,
+    /// Mean absolute error over the predicted subset.
+    pub mae: Option<f64>,
+    /// Maximum absolute error over the predicted subset.
+    pub max_abs_error: Option<f64>,
+}
+
+impl EvaluationReport {
+    /// Build a report from accumulated pairs. Metrics that are undefined for
+    /// the data (e.g. NMSE of a constant subset, or anything when every point
+    /// abstained) are recorded as `None` rather than failing the run.
+    pub fn from_paired(system: impl Into<String>, horizon: usize, pairs: &PairedErrors) -> Self {
+        let opt = |r: Result<f64, MetricError>| r.ok();
+        EvaluationReport {
+            system: system.into(),
+            horizon,
+            total_points: pairs.coverage().total(),
+            predicted_points: pairs.predicted_count(),
+            coverage_pct: pairs.coverage_percentage(),
+            rmse: opt(pairs.rmse()),
+            nmse: opt(pairs.nmse()),
+            half_mse: opt(pairs.half_mse(horizon)),
+            mae: opt(pairs.mae()),
+            max_abs_error: opt(pairs.max_abs_error()),
+        }
+    }
+
+    /// Render one human-readable summary line (used by the bench harness).
+    pub fn summary_line(&self) -> String {
+        let fmt_opt = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.5}"),
+            None => "-".to_string(),
+        };
+        let fmt_pct = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.1}"),
+            None => "-".to_string(),
+        };
+        format!(
+            "{:<14} τ={:<3} coverage={}% rmse={} nmse={} half_mse={} mae={}",
+            self.system,
+            self.horizon,
+            fmt_pct(self.coverage_pct),
+            fmt_opt(self.rmse),
+            fmt_opt(self.nmse),
+            fmt_opt(self.half_mse),
+            fmt_opt(self.mae),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_pairs() -> PairedErrors {
+        let mut pe = PairedErrors::new();
+        pe.record(1.0, Some(1.1));
+        pe.record(2.0, Some(1.9));
+        pe.record(3.0, None);
+        pe
+    }
+
+    #[test]
+    fn from_paired_populates_fields() {
+        let r = EvaluationReport::from_paired("rule-system", 4, &sample_pairs());
+        assert_eq!(r.system, "rule-system");
+        assert_eq!(r.horizon, 4);
+        assert_eq!(r.total_points, 3);
+        assert_eq!(r.predicted_points, 2);
+        assert!(r.coverage_pct.unwrap() > 66.0);
+        assert!(r.rmse.unwrap() > 0.0);
+        assert!(r.max_abs_error.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn degenerate_metrics_become_none() {
+        let mut pe = PairedErrors::new();
+        pe.record(1.0, None);
+        let r = EvaluationReport::from_paired("x", 1, &pe);
+        assert_eq!(r.rmse, None);
+        assert_eq!(r.nmse, None);
+        assert_eq!(r.coverage_pct, Some(0.0));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = EvaluationReport::from_paired("mlp", 12, &sample_pairs());
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: EvaluationReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(r.system, back.system);
+        assert_eq!(r.horizon, back.horizon);
+        assert_eq!(r.total_points, back.total_points);
+        assert_eq!(r.predicted_points, back.predicted_points);
+        // Floats may lose an ULP through the JSON text representation.
+        let close = |a: Option<f64>, b: Option<f64>| match (a, b) {
+            (Some(x), Some(y)) => (x - y).abs() < 1e-12,
+            (None, None) => true,
+            _ => false,
+        };
+        assert!(close(r.rmse, back.rmse));
+        assert!(close(r.nmse, back.nmse));
+        assert!(close(r.half_mse, back.half_mse));
+        assert!(close(r.coverage_pct, back.coverage_pct));
+    }
+
+    #[test]
+    fn summary_line_contains_key_numbers() {
+        let r = EvaluationReport::from_paired("rs", 24, &sample_pairs());
+        let line = r.summary_line();
+        assert!(line.contains("τ=24"));
+        assert!(line.contains("rs"));
+        assert!(line.contains("coverage"));
+    }
+
+    #[test]
+    fn summary_line_with_empty_report() {
+        let r = EvaluationReport::from_paired("rs", 1, &PairedErrors::new());
+        let line = r.summary_line();
+        assert!(line.contains('-'));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type for the neural baselines.
+
+use std::fmt;
+
+/// Errors produced when configuring or training a network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NeuralError {
+    /// Invalid hyperparameter (zero layers, negative learning rate, ...).
+    InvalidConfig(String),
+    /// Training data shapes don't line up.
+    ShapeMismatch {
+        /// What was being checked.
+        what: &'static str,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// Training diverged (non-finite loss).
+    Diverged {
+        /// Epoch at which divergence was detected.
+        epoch: usize,
+    },
+    /// The operation requires a trained / non-empty model.
+    Untrained,
+}
+
+impl fmt::Display for NeuralError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NeuralError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            NeuralError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            NeuralError::Diverged { epoch } => {
+                write!(f, "training diverged (non-finite loss) at epoch {epoch}")
+            }
+            NeuralError::Untrained => write!(f, "model has no trained parameters"),
+        }
+    }
+}
+
+impl std::error::Error for NeuralError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(NeuralError::InvalidConfig("lr".into()).to_string().contains("lr"));
+        let s = NeuralError::ShapeMismatch {
+            what: "targets",
+            expected: 10,
+            actual: 3,
+        }
+        .to_string();
+        assert!(s.contains("targets") && s.contains("10") && s.contains('3'));
+        assert!(NeuralError::Diverged { epoch: 4 }.to_string().contains('4'));
+        assert!(NeuralError::Untrained.to_string().contains("no trained"));
+    }
+}

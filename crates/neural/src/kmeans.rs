@@ -1,0 +1,241 @@
+//! Lloyd's k-means clustering.
+//!
+//! Center selection for the RBF baseline: random center sampling (the quick
+//! default) wastes units on dense regions; k-means places them where the
+//! data's structure is. Deterministic given a seed (k-means++-style seeding
+//! from a seeded RNG, then plain Lloyd iterations to a movement tolerance).
+
+use crate::error::NeuralError;
+use evoforecast_linalg::{vector, Matrix};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeans {
+    /// Cluster centers, one row per center.
+    pub centers: Vec<Vec<f64>>,
+    /// Per-point cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Lloyd iterations performed.
+    pub iterations: usize,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+}
+
+/// Run k-means on the rows of `data`.
+///
+/// `k` is capped at the number of points. Seeding is k-means++ (each new
+/// center drawn proportionally to squared distance from the chosen set),
+/// then Lloyd iterations until centers move less than `tol` or `max_iter`.
+///
+/// # Errors
+/// * [`NeuralError::InvalidConfig`] for `k == 0`, `max_iter == 0`, or
+///   non-positive `tol`,
+/// * [`NeuralError::ShapeMismatch`] for empty data.
+pub fn kmeans(
+    data: &Matrix,
+    k: usize,
+    max_iter: usize,
+    tol: f64,
+    seed: u64,
+) -> Result<KMeans, NeuralError> {
+    if k == 0 || max_iter == 0 || tol.is_nan() || tol <= 0.0 {
+        return Err(NeuralError::InvalidConfig(
+            "k >= 1, max_iter >= 1 and tol > 0 required".into(),
+        ));
+    }
+    let n = data.rows();
+    let d = data.cols();
+    if n == 0 || d == 0 {
+        return Err(NeuralError::ShapeMismatch {
+            what: "kmeans data",
+            expected: 1,
+            actual: 0,
+        });
+    }
+    let k = k.min(n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+    // --- k-means++ seeding -------------------------------------------------
+    let mut centers: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centers.push(data.row(rng.gen_range(0..n)).to_vec());
+    let mut dist_sq: Vec<f64> = (0..n)
+        .map(|i| vector::dist2_sq(data.row(i), &centers[0]))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = dist_sq.iter().sum();
+        let next = if total <= f64::MIN_POSITIVE {
+            // All remaining points coincide with chosen centers.
+            rng.gen_range(0..n)
+        } else {
+            let mut draw = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &w) in dist_sq.iter().enumerate() {
+                draw -= w;
+                if draw <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(data.row(next).to_vec());
+        let latest = centers.last().expect("just pushed");
+        for i in 0..n {
+            let d2 = vector::dist2_sq(data.row(i), latest);
+            if d2 < dist_sq[i] {
+                dist_sq[i] = d2;
+            }
+        }
+    }
+
+    // --- Lloyd iterations ----------------------------------------------------
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0usize;
+    for _ in 0..max_iter {
+        iterations += 1;
+        // Assign.
+        for (i, slot) in assignments.iter_mut().enumerate() {
+            let row = data.row(i);
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, center) in centers.iter().enumerate() {
+                let d2 = vector::dist2_sq(row, center);
+                if d2 < best_d {
+                    best_d = d2;
+                    best = c;
+                }
+            }
+            *slot = best;
+        }
+        // Update.
+        let mut sums = vec![vec![0.0; d]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &a) in assignments.iter().enumerate() {
+            counts[a] += 1;
+            vector::axpy(1.0, data.row(i), &mut sums[a]);
+        }
+        let mut max_move_sq = 0.0_f64;
+        for (c, center) in centers.iter_mut().enumerate() {
+            if counts[c] == 0 {
+                continue; // empty cluster keeps its center
+            }
+            let inv = 1.0 / counts[c] as f64;
+            let mut move_sq = 0.0;
+            for (slot, &s) in center.iter_mut().zip(&sums[c]) {
+                let new = s * inv;
+                let delta = new - *slot;
+                move_sq += delta * delta;
+                *slot = new;
+            }
+            max_move_sq = max_move_sq.max(move_sq);
+        }
+        if max_move_sq.sqrt() < tol {
+            break;
+        }
+    }
+
+    let inertia = assignments
+        .iter()
+        .enumerate()
+        .map(|(i, &a)| vector::dist2_sq(data.row(i), &centers[a]))
+        .sum();
+
+    Ok(KMeans {
+        centers,
+        assignments,
+        iterations,
+        inertia,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three well-separated blobs in 2-D.
+    fn blobs() -> Matrix {
+        let mut rows: Vec<Vec<f64>> = Vec::new();
+        for i in 0..30 {
+            let jitter = (i as f64 * 0.61).sin() * 0.2;
+            rows.push(vec![0.0 + jitter, 0.0 - jitter]);
+            rows.push(vec![10.0 - jitter, 10.0 + jitter]);
+            rows.push(vec![-10.0 + jitter, 10.0 - jitter]);
+        }
+        let n = rows.len();
+        Matrix::from_fn(n, 2, |i, j| rows[i][j])
+    }
+
+    #[test]
+    fn validation_errors() {
+        let data = blobs();
+        assert!(kmeans(&data, 0, 10, 1e-6, 1).is_err());
+        assert!(kmeans(&data, 3, 0, 1e-6, 1).is_err());
+        assert!(kmeans(&data, 3, 10, 0.0, 1).is_err());
+        assert!(kmeans(&Matrix::zeros(0, 2), 3, 10, 1e-6, 1).is_err());
+    }
+
+    #[test]
+    fn finds_three_separated_blobs() {
+        let data = blobs();
+        let km = kmeans(&data, 3, 100, 1e-9, 7).unwrap();
+        assert_eq!(km.centers.len(), 3);
+        // Each center lands near one blob centroid.
+        let expected = [(0.0, 0.0), (10.0, 10.0), (-10.0, 10.0)];
+        for &(ex, ey) in &expected {
+            let hit = km
+                .centers
+                .iter()
+                .any(|c| (c[0] - ex).abs() < 1.0 && (c[1] - ey).abs() < 1.0);
+            assert!(hit, "no center near ({ex}, {ey}): {:?}", km.centers);
+        }
+        // Inertia must be tiny relative to blob separation.
+        assert!(km.inertia < 50.0, "inertia {}", km.inertia);
+    }
+
+    #[test]
+    fn assignments_are_nearest_center() {
+        let data = blobs();
+        let km = kmeans(&data, 3, 100, 1e-9, 3).unwrap();
+        for i in 0..data.rows() {
+            let assigned = km.assignments[i];
+            let d_assigned = vector::dist2_sq(data.row(i), &km.centers[assigned]);
+            for c in &km.centers {
+                assert!(d_assigned <= vector::dist2_sq(data.row(i), c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn k_capped_at_points() {
+        let data = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0]]);
+        let km = kmeans(&data, 10, 50, 1e-9, 1).unwrap();
+        assert_eq!(km.centers.len(), 2);
+    }
+
+    #[test]
+    fn identical_points_dont_panic() {
+        let data = Matrix::from_fn(20, 2, |_, _| 3.0);
+        let km = kmeans(&data, 4, 50, 1e-9, 5).unwrap();
+        assert!(km.inertia < 1e-12);
+        assert!(km.assignments.iter().all(|&a| a < km.centers.len()));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let a = kmeans(&data, 3, 100, 1e-9, 11).unwrap();
+        let b = kmeans(&data, 3, 100, 1e-9, 11).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let data = blobs();
+        let k2 = kmeans(&data, 2, 200, 1e-9, 13).unwrap();
+        let k6 = kmeans(&data, 6, 200, 1e-9, 13).unwrap();
+        assert!(k6.inertia <= k2.inertia + 1e-9);
+    }
+}

@@ -1,0 +1,272 @@
+//! Missing-data handling.
+//!
+//! Real gauge records (the Venice data the paper used spans 15 years of
+//! hourly measurements) have outages. This module represents a series with
+//! gaps as `Vec<Option<f64>>` and provides imputation strategies to recover
+//! a dense [`TimeSeries`] the windowing machinery can consume — plus gap
+//! statistics so an experimenter can judge whether imputation is defensible.
+
+use crate::error::DataError;
+use crate::series::TimeSeries;
+
+/// Imputation strategy for [`fill_gaps`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillStrategy {
+    /// Repeat the last observed value (step interpolation).
+    ForwardFill,
+    /// Linear interpolation between the surrounding observations.
+    Linear,
+    /// Replace every gap with the series mean of observed values.
+    Mean,
+}
+
+/// Summary of the gaps in a record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapStats {
+    /// Total observations (present + missing).
+    pub total: usize,
+    /// Missing observations.
+    pub missing: usize,
+    /// Number of contiguous gap runs.
+    pub runs: usize,
+    /// Length of the longest gap run.
+    pub longest_run: usize,
+}
+
+impl GapStats {
+    /// Fraction missing in `[0, 1]`.
+    pub fn missing_fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.missing as f64 / self.total as f64
+        }
+    }
+}
+
+/// Compute gap statistics.
+pub fn gap_stats(record: &[Option<f64>]) -> GapStats {
+    let mut missing = 0usize;
+    let mut runs = 0usize;
+    let mut longest_run = 0usize;
+    let mut current_run = 0usize;
+    for slot in record {
+        if slot.is_none() {
+            missing += 1;
+            current_run += 1;
+            if current_run == 1 {
+                runs += 1;
+            }
+            longest_run = longest_run.max(current_run);
+        } else {
+            current_run = 0;
+        }
+    }
+    GapStats {
+        total: record.len(),
+        missing,
+        runs,
+        longest_run,
+    }
+}
+
+/// Impute gaps and build a dense series.
+///
+/// # Errors
+/// * [`DataError::EmptySeries`] when the record is empty or all-missing,
+/// * [`DataError::NonFinite`] when an observed value is NaN/inf.
+pub fn fill_gaps(
+    name: &str,
+    record: &[Option<f64>],
+    strategy: FillStrategy,
+) -> Result<TimeSeries, DataError> {
+    if record.is_empty() {
+        return Err(DataError::EmptySeries);
+    }
+    if let Some(idx) = record
+        .iter()
+        .position(|s| matches!(s, Some(v) if !v.is_finite()))
+    {
+        return Err(DataError::NonFinite { index: idx });
+    }
+    let observed: Vec<f64> = record.iter().filter_map(|&s| s).collect();
+    if observed.is_empty() {
+        return Err(DataError::EmptySeries);
+    }
+    let mean = observed.iter().sum::<f64>() / observed.len() as f64;
+
+    let filled: Vec<f64> = match strategy {
+        FillStrategy::Mean => record.iter().map(|s| s.unwrap_or(mean)).collect(),
+        FillStrategy::ForwardFill => {
+            let first = observed[0];
+            let mut last = first;
+            record
+                .iter()
+                .map(|s| {
+                    if let Some(v) = *s {
+                        last = v;
+                    }
+                    last
+                })
+                .collect()
+        }
+        FillStrategy::Linear => linear_fill(record, mean),
+    };
+    TimeSeries::new(name, filled)
+}
+
+/// Linear interpolation; leading/trailing gaps extend the nearest
+/// observation; `fallback` only applies to the (excluded) all-missing case.
+fn linear_fill(record: &[Option<f64>], fallback: f64) -> Vec<f64> {
+    let n = record.len();
+    let mut out = vec![fallback; n];
+    let mut prev: Option<(usize, f64)> = None;
+    let mut i = 0usize;
+    while i < n {
+        match record[i] {
+            Some(v) => {
+                out[i] = v;
+                prev = Some((i, v));
+                i += 1;
+            }
+            None => {
+                // Find the next observation.
+                let next = record[i..].iter().position(Option::is_some).map(|off| {
+                    let j = i + off;
+                    (j, record[j].expect("position found Some"))
+                });
+                match (prev, next) {
+                    (Some((pi, pv)), Some((nj, nv))) => {
+                        for (k, slot) in out.iter_mut().enumerate().take(nj).skip(i) {
+                            let t = (k - pi) as f64 / (nj - pi) as f64;
+                            *slot = pv + t * (nv - pv);
+                        }
+                        i = nj;
+                    }
+                    (Some((_, pv)), None) => {
+                        for slot in out.iter_mut().take(n).skip(i) {
+                            *slot = pv;
+                        }
+                        i = n;
+                    }
+                    (None, Some((nj, nv))) => {
+                        for slot in out.iter_mut().take(nj).skip(i) {
+                            *slot = nv;
+                        }
+                        i = nj;
+                    }
+                    (None, None) => {
+                        i = n; // unreachable: observed is non-empty
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gap_stats_counts_runs() {
+        let r = [Some(1.0), None, None, Some(2.0), None, Some(3.0)];
+        let s = gap_stats(&r);
+        assert_eq!(s.total, 6);
+        assert_eq!(s.missing, 3);
+        assert_eq!(s.runs, 2);
+        assert_eq!(s.longest_run, 2);
+        assert!((s.missing_fraction() - 0.5).abs() < 1e-12);
+        let empty = gap_stats(&[]);
+        assert_eq!(empty.missing_fraction(), 0.0);
+    }
+
+    #[test]
+    fn forward_fill_repeats_last() {
+        let r = [Some(1.0), None, None, Some(4.0), None];
+        let s = fill_gaps("x", &r, FillStrategy::ForwardFill).unwrap();
+        assert_eq!(s.values(), &[1.0, 1.0, 1.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn forward_fill_leading_gap_uses_first_observation() {
+        let r = [None, None, Some(7.0), None];
+        let s = fill_gaps("x", &r, FillStrategy::ForwardFill).unwrap();
+        assert_eq!(s.values(), &[7.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn linear_interpolates_interior() {
+        let r = [Some(0.0), None, None, None, Some(4.0)];
+        let s = fill_gaps("x", &r, FillStrategy::Linear).unwrap();
+        assert_eq!(s.values(), &[0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn linear_extends_edges() {
+        let r = [None, Some(2.0), None, Some(6.0), None, None];
+        let s = fill_gaps("x", &r, FillStrategy::Linear).unwrap();
+        assert_eq!(s.values(), &[2.0, 2.0, 4.0, 6.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_fill() {
+        let r = [Some(1.0), None, Some(3.0)];
+        let s = fill_gaps("x", &r, FillStrategy::Mean).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(matches!(
+            fill_gaps("x", &[], FillStrategy::Linear),
+            Err(DataError::EmptySeries)
+        ));
+        assert!(matches!(
+            fill_gaps("x", &[None, None], FillStrategy::Linear),
+            Err(DataError::EmptySeries)
+        ));
+        assert!(matches!(
+            fill_gaps("x", &[Some(f64::NAN)], FillStrategy::Mean),
+            Err(DataError::NonFinite { index: 0 })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn filled_series_preserves_observations(
+            spec in proptest::collection::vec(
+                proptest::option::of(-1e3..1e3f64), 1..64
+            )
+        ) {
+            prop_assume!(spec.iter().any(Option::is_some));
+            for strategy in [FillStrategy::ForwardFill, FillStrategy::Linear, FillStrategy::Mean] {
+                let filled = fill_gaps("x", &spec, strategy).unwrap();
+                prop_assert_eq!(filled.len(), spec.len());
+                for (slot, &value) in spec.iter().zip(filled.values()) {
+                    if let Some(v) = slot {
+                        prop_assert_eq!(*v, value, "observed values must survive");
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn linear_fill_bounded_by_neighbors(
+            spec in proptest::collection::vec(
+                proptest::option::of(-1e2..1e2f64), 2..48
+            )
+        ) {
+            prop_assume!(spec.iter().any(Option::is_some));
+            let filled = fill_gaps("x", &spec, FillStrategy::Linear).unwrap();
+            let observed: Vec<f64> = spec.iter().filter_map(|&s| s).collect();
+            let lo = observed.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = observed.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for &v in filled.values() {
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+            }
+        }
+    }
+}

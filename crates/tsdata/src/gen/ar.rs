@@ -1,0 +1,158 @@
+//! Autoregressive AR(p) process generator.
+//!
+//! A linear-dynamics workload: an AR(p) series is *exactly* learnable by the
+//! rule system's linear predicting part, which makes it the canonical
+//! integration-test series (the engine should drive errors near the noise
+//! floor) and a sanity baseline for ablations.
+
+use crate::error::DataError;
+use crate::series::TimeSeries;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// AR(p) generator: `x_t = Σ_k φ_k x_{t-k} + c + ε_t`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArProcess {
+    /// AR coefficients `φ_1..φ_p` (lag-1 first).
+    pub coefficients: Vec<f64>,
+    /// Constant drift term.
+    pub constant: f64,
+    /// Innovation standard deviation.
+    pub noise_std: f64,
+}
+
+impl ArProcess {
+    /// Construct, requiring at least one coefficient and finite parameters.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] on empty/non-finite input.
+    pub fn new(coefficients: Vec<f64>, constant: f64, noise_std: f64) -> Result<Self, DataError> {
+        if coefficients.is_empty() {
+            return Err(DataError::InvalidParameter(
+                "AR process needs at least one coefficient".into(),
+            ));
+        }
+        if coefficients.iter().any(|c| !c.is_finite())
+            || !constant.is_finite()
+            || !noise_std.is_finite()
+            || noise_std < 0.0
+        {
+            return Err(DataError::InvalidParameter(
+                "AR parameters must be finite, noise_std >= 0".into(),
+            ));
+        }
+        Ok(ArProcess {
+            coefficients,
+            constant,
+            noise_std,
+        })
+    }
+
+    /// A stable, oscillatory default: AR(2) with roots at radius ~0.9.
+    pub fn stable_ar2() -> Self {
+        ArProcess {
+            coefficients: vec![1.2, -0.81],
+            constant: 0.0,
+            noise_std: 0.3,
+        }
+    }
+
+    /// Generate `n` samples starting from zero initial conditions, with a
+    /// burn-in of `5 * p + 100` discarded samples so output is stationary.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` (experiment-setup error).
+    pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        assert!(n > 0, "need at least one sample");
+        let p = self.coefficients.len();
+        let burn_in = 5 * p + 100;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut history: Vec<f64> = vec![0.0; p];
+        let mut out = Vec::with_capacity(n);
+
+        for t in 0..burn_in + n {
+            let mut x = self.constant;
+            for (k, &phi) in self.coefficients.iter().enumerate() {
+                x += phi * history[k];
+            }
+            if self.noise_std > 0.0 {
+                let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.gen::<f64>();
+                x += self.noise_std
+                    * (-2.0 * u1.ln()).sqrt()
+                    * (std::f64::consts::TAU * u2).cos();
+            }
+            // Shift history: newest at index 0.
+            history.rotate_right(1);
+            history[0] = x;
+            if t >= burn_in {
+                out.push(x);
+            }
+        }
+
+        TimeSeries::new("ar-process", out).expect("stable AR output is finite")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoforecast_linalg::stats;
+
+    #[test]
+    fn construction_validation() {
+        assert!(ArProcess::new(vec![], 0.0, 1.0).is_err());
+        assert!(ArProcess::new(vec![f64::NAN], 0.0, 1.0).is_err());
+        assert!(ArProcess::new(vec![0.5], f64::INFINITY, 1.0).is_err());
+        assert!(ArProcess::new(vec![0.5], 0.0, -1.0).is_err());
+        assert!(ArProcess::new(vec![0.5], 0.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn generates_requested_length_deterministically() {
+        let p = ArProcess::stable_ar2();
+        let a = p.generate(500, 1);
+        assert_eq!(a.len(), 500);
+        assert_eq!(a.values(), p.generate(500, 1).values());
+        assert_ne!(a.values(), p.generate(500, 2).values());
+    }
+
+    #[test]
+    fn noiseless_ar1_decays_geometrically() {
+        // Without noise and zero history the output is identically the
+        // constant/(1-phi) fixed point after burn-in.
+        let p = ArProcess::new(vec![0.5], 1.0, 0.0).unwrap();
+        let s = p.generate(50, 0);
+        for &v in s.values() {
+            assert!((v - 2.0).abs() < 1e-9, "fixed point 1/(1-0.5) = 2, got {v}");
+        }
+    }
+
+    #[test]
+    fn stationary_ar1_statistics() {
+        // AR(1) with phi = 0.8, sigma = 1: var = 1/(1-0.64) ≈ 2.78,
+        // lag-1 autocorrelation = 0.8.
+        let p = ArProcess::new(vec![0.8], 0.0, 1.0).unwrap();
+        let s = p.generate(60_000, 3);
+        let var = stats::variance(s.values()).unwrap();
+        assert!((var - 1.0 / (1.0 - 0.64)).abs() < 0.25, "var {var}");
+        let ac1 = s.autocorrelation(1).unwrap();
+        assert!((ac1 - 0.8).abs() < 0.05, "ac1 {ac1}");
+    }
+
+    #[test]
+    fn ar2_oscillates() {
+        // Roots of 1 - 1.2z + 0.81z²: complex — the autocorrelation must go
+        // negative within a period.
+        let s = ArProcess::stable_ar2().generate(20_000, 5);
+        let negative_lag = (1..30).find(|&k| s.autocorrelation(k).unwrap() < 0.0);
+        assert!(negative_lag.is_some(), "AR(2) should oscillate");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        ArProcess::stable_ar2().generate(0, 1);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic time-series generators.
+//!
+//! Three of these stand in for the paper's data sources (see DESIGN.md §4):
+//!
+//! * [`mackey_glass`] — the artificial benchmark series the paper generates
+//!   itself (we integrate the same delay differential equation),
+//! * [`venice`] — substitution for the proprietary 1980–1994 Venice-lagoon
+//!   gauge record: harmonic tide + AR(2) storm-surge shocks,
+//! * [`sunspot`] — substitution for the SIDC monthly sunspot archive (no
+//!   network access): a Schwabe-cycle generator.
+//!
+//! The rest ([`chaotic`], [`ar`], [`waves`]) supply controlled workloads for
+//! unit tests, property tests and ablations.
+//!
+//! All generators are deterministic given a seed (ChaCha8 streams), so every
+//! number in EXPERIMENTS.md is exactly reproducible.
+
+pub mod ar;
+pub mod chaotic;
+pub mod mackey_glass;
+pub mod sunspot;
+pub mod venice;
+pub mod waves;

@@ -1,0 +1,298 @@
+//! Venice-lagoon water-level simulator.
+//!
+//! Substitution for the proprietary 1980–1994 hourly gauge record the paper
+//! used (see DESIGN.md §4). The generator reproduces the *structure* the
+//! rule system exploits:
+//!
+//! * deterministic astronomical tide — the six dominant Adriatic harmonic
+//!   constituents (M2, S2, N2, K1, O1, P1), whose M2/S2 beat produces the
+//!   spring–neap cycle,
+//! * a slow seasonal component (winter levels run higher),
+//! * a stochastic storm-surge process: a smooth AR(2) response driven by
+//!   Gaussian weather noise plus rare heavy-tailed "scirocco" shocks, which
+//!   produce the occasional *acqua alta* events (> 110 cm) the paper's
+//!   method is designed to catch,
+//! * small measurement noise.
+//!
+//! Output is hourly, in centimetres, spanning roughly the paper's −50..150 cm
+//! range with rare excursions beyond.
+
+use crate::series::TimeSeries;
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// One harmonic constituent: amplitude (cm), period (hours), phase (rad).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constituent {
+    /// Amplitude in centimetres.
+    pub amplitude: f64,
+    /// Period in hours.
+    pub period: f64,
+    /// Phase offset in radians.
+    pub phase: f64,
+}
+
+/// Venice tide simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VeniceTide {
+    /// Mean sea level relative to the Punta della Salute datum (cm).
+    pub mean_level: f64,
+    /// Harmonic constituents.
+    pub constituents: Vec<Constituent>,
+    /// Seasonal amplitude (cm) of the annual component.
+    pub seasonal_amplitude: f64,
+    /// AR(2) surge dynamics: `s_t = ar1 s_{t-1} + ar2 s_{t-2} + ε_t`.
+    pub surge_ar1: f64,
+    /// Second AR coefficient.
+    pub surge_ar2: f64,
+    /// Standard deviation of the everyday weather noise driving the surge.
+    pub surge_noise_std: f64,
+    /// Per-hour probability of a storm shock.
+    pub storm_probability: f64,
+    /// Mean of the exponential storm-shock magnitude (cm).
+    pub storm_mean_magnitude: f64,
+    /// Standard deviation of additive measurement noise (cm).
+    pub measurement_noise_std: f64,
+}
+
+impl Default for VeniceTide {
+    fn default() -> Self {
+        VeniceTide {
+            mean_level: 30.0,
+            constituents: vec![
+                // Principal lunar/solar semidiurnal and diurnal constituents
+                // with Venice-like amplitudes (cm) and standard periods (h).
+                Constituent { amplitude: 23.0, period: 12.4206, phase: 0.00 }, // M2
+                Constituent { amplitude: 14.0, period: 12.0000, phase: 0.70 }, // S2
+                Constituent { amplitude: 4.0, period: 12.6583, phase: 1.30 },  // N2
+                Constituent { amplitude: 16.0, period: 23.9345, phase: 2.10 }, // K1
+                Constituent { amplitude: 5.0, period: 25.8193, phase: 0.40 },  // O1
+                Constituent { amplitude: 5.0, period: 24.0659, phase: 2.90 },  // P1
+            ],
+            seasonal_amplitude: 8.0,
+            // Roots 0.86 and 0.64: smooth surge that decays over ~1-2 days.
+            surge_ar1: 1.5,
+            surge_ar2: -0.55,
+            surge_noise_std: 0.9,
+            storm_probability: 8.0e-4,
+            storm_mean_magnitude: 9.0,
+            measurement_noise_std: 0.6,
+        }
+    }
+}
+
+impl VeniceTide {
+    /// Deterministic tide component at hour `t` (no surge, no noise).
+    pub fn astronomical(&self, t: f64) -> f64 {
+        let two_pi = std::f64::consts::TAU;
+        let harmonic: f64 = self
+            .constituents
+            .iter()
+            .map(|c| c.amplitude * (two_pi * t / c.period + c.phase).sin())
+            .sum();
+        let seasonal = self.seasonal_amplitude * (two_pi * t / (365.25 * 24.0)).sin();
+        self.mean_level + harmonic + seasonal
+    }
+
+    /// Generate `n` hourly samples with the given RNG seed.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` (experiment-setup error).
+    pub fn generate(&self, n: usize, seed: u64) -> TimeSeries {
+        self.generate_decomposed(n, seed).total
+    }
+
+    /// Generate with the components separated — the operational tide-service
+    /// view: the deterministic astronomical tide is computable in advance,
+    /// so the forecasting problem that matters is the *meteorological
+    /// residual* (surge + noise). See `examples/surge_forecast.rs`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` (experiment-setup error).
+    pub fn generate_decomposed(&self, n: usize, seed: u64) -> DecomposedTide {
+        assert!(n > 0, "need at least one sample");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut values = Vec::with_capacity(n);
+        let mut astro_values = Vec::with_capacity(n);
+        let mut residual_values = Vec::with_capacity(n);
+
+        // AR(2) surge state.
+        let mut s_prev = 0.0_f64;
+        let mut s_prev2 = 0.0_f64;
+
+        for t in 0..n {
+            // Everyday weather forcing (Box-Muller from two uniforms).
+            let noise = gaussian(&mut rng) * self.surge_noise_std;
+            // Rare storm shock: exponential tail, always positive (scirocco
+            // pushes water *into* the lagoon; negative bora set-down events
+            // are smaller and folded into the Gaussian term).
+            let shock = if rng.gen::<f64>() < self.storm_probability {
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                self.storm_mean_magnitude * -u.ln() + 12.0
+            } else {
+                0.0
+            };
+            let surge = self.surge_ar1 * s_prev + self.surge_ar2 * s_prev2 + noise + shock;
+            s_prev2 = s_prev;
+            s_prev = surge;
+
+            let astro = self.astronomical(t as f64);
+            let residual = surge + gaussian(&mut rng) * self.measurement_noise_std;
+            astro_values.push(astro);
+            residual_values.push(residual);
+            values.push(astro + residual);
+        }
+
+        DecomposedTide {
+            total: TimeSeries::new("venice-lagoon", values).expect("simulator output is finite"),
+            astronomical: astro_values,
+            residual: residual_values,
+        }
+    }
+
+    /// The paper's dataset size: 45 000 training + 10 000 validation hourly
+    /// measures (55 000 points).
+    pub fn paper_series(&self, seed: u64) -> TimeSeries {
+        self.generate(55_000, seed)
+    }
+}
+
+/// A Venice record with its components separated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecomposedTide {
+    /// The observed water level (astronomical + residual).
+    pub total: TimeSeries,
+    /// The deterministic astronomical tide (computable in advance).
+    pub astronomical: Vec<f64>,
+    /// The meteorological residual (surge + measurement noise).
+    pub residual: Vec<f64>,
+}
+
+/// One standard Gaussian sample via Box-Muller.
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use evoforecast_linalg::stats;
+
+    #[test]
+    fn generates_requested_length() {
+        let s = VeniceTide::default().generate(1000, 7);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = VeniceTide::default().generate(500, 42);
+        let b = VeniceTide::default().generate(500, 42);
+        assert_eq!(a.values(), b.values());
+        let c = VeniceTide::default().generate(500, 43);
+        assert_ne!(a.values(), c.values());
+    }
+
+    #[test]
+    fn level_mostly_in_paper_range() {
+        let s = VeniceTide::default().generate(20_000, 1);
+        let inside = s
+            .values()
+            .iter()
+            .filter(|&&v| (-50.0..=150.0).contains(&v))
+            .count();
+        let frac = inside as f64 / s.len() as f64;
+        assert!(frac > 0.97, "only {frac:.3} of points in [-50, 150] cm");
+    }
+
+    #[test]
+    fn exhibits_semidiurnal_periodicity() {
+        let s = VeniceTide::default().generate(8000, 3);
+        // M2 ~ 12.42 h: lag-12 autocorrelation clearly positive, lag-6
+        // clearly below it (half period of the dominant band).
+        let ac12 = s.autocorrelation(12).unwrap();
+        let ac6 = s.autocorrelation(6).unwrap();
+        assert!(ac12 > 0.3, "lag-12 autocorrelation {ac12} too weak");
+        assert!(ac12 > ac6, "lag-12 ({ac12}) should beat lag-6 ({ac6})");
+    }
+
+    #[test]
+    fn produces_rare_acqua_alta_events() {
+        // Over ~6 years of hourly data some events must clear 110 cm, but
+        // they must stay rare (< 2% of hours).
+        let s = VeniceTide::default().generate(55_000, 2024);
+        let high = s.values().iter().filter(|&&v| v > 110.0).count();
+        assert!(high > 0, "no acqua alta events in 55k hours");
+        assert!(
+            (high as f64) < 0.02 * s.len() as f64,
+            "acqua alta too frequent: {high}"
+        );
+    }
+
+    #[test]
+    fn astronomical_component_is_smooth_and_bounded() {
+        let v = VeniceTide::default();
+        let astro: Vec<f64> = (0..5000).map(|t| v.astronomical(t as f64)).collect();
+        let (lo, hi) = stats::min_max(&astro).unwrap();
+        // Sum of amplitudes = 67 + seasonal 8 around mean 30.
+        assert!(lo > -50.0 && hi < 110.0, "astro tide range [{lo}, {hi}]");
+        // Hour-to-hour steps are small relative to the range.
+        let max_step = astro
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .fold(0.0_f64, f64::max);
+        assert!(max_step < 30.0);
+    }
+
+    #[test]
+    fn surge_raises_variance_above_pure_tide() {
+        let v = VeniceTide::default();
+        let with = v.generate(10_000, 5);
+        let astro: Vec<f64> = (0..10_000).map(|t| v.astronomical(t as f64)).collect();
+        let var_with = stats::variance(with.values()).unwrap();
+        let var_astro = stats::variance(&astro).unwrap();
+        assert!(var_with > var_astro, "surge must add variance");
+    }
+
+    #[test]
+    fn paper_series_size() {
+        let s = VeniceTide::default().paper_series(11);
+        assert_eq!(s.len(), 55_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        VeniceTide::default().generate(0, 1);
+    }
+
+    #[test]
+    fn decomposition_sums_to_total() {
+        let d = VeniceTide::default().generate_decomposed(500, 21);
+        assert_eq!(d.astronomical.len(), 500);
+        assert_eq!(d.residual.len(), 500);
+        for i in 0..500 {
+            let rebuilt = d.astronomical[i] + d.residual[i];
+            assert!((rebuilt - d.total.values()[i]).abs() < 1e-12);
+        }
+        // And the total matches the plain generate() for the same seed.
+        let plain = VeniceTide::default().generate(500, 21);
+        assert_eq!(plain.values(), d.total.values());
+    }
+
+    #[test]
+    fn residual_is_roughly_centered_and_heavier_tailed_than_noise() {
+        let d = VeniceTide::default().generate_decomposed(30_000, 4);
+        let mean = stats::mean(&d.residual).unwrap();
+        // Positive storm shocks skew it slightly positive, but the bulk
+        // should sit near zero relative to the tide amplitude.
+        assert!(mean.abs() < 10.0, "residual mean {mean}");
+        // The residual occasionally exceeds 5x its own std (storm tail).
+        let sd = stats::std_dev(&d.residual).unwrap();
+        let extremes = d.residual.iter().filter(|&&r| r > 4.0 * sd).count();
+        assert!(extremes > 0, "no storm tail in residual");
+    }
+}

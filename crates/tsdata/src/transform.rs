@@ -1,0 +1,203 @@
+//! Series transforms: differencing, smoothing, decimation, lag features.
+//!
+//! Standard preprocessing for forecasting pipelines. Each transform that
+//! loses information the forecaster must restore (differencing) comes with
+//! its exact inverse.
+
+use crate::error::DataError;
+use crate::series::TimeSeries;
+
+/// First difference: `y_t = x_{t+1} − x_t` (length shrinks by one).
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] when the series has fewer than 2 points.
+pub fn difference(series: &TimeSeries) -> Result<TimeSeries, DataError> {
+    let v = series.values();
+    if v.len() < 2 {
+        return Err(DataError::InvalidParameter(
+            "differencing needs at least 2 points".into(),
+        ));
+    }
+    let diff: Vec<f64> = v.windows(2).map(|w| w[1] - w[0]).collect();
+    TimeSeries::new(format!("{}~diff", series.name()), diff)
+}
+
+/// Invert [`difference`]: rebuild levels from the first original value and
+/// the differenced series.
+///
+/// # Errors
+/// Propagates series-construction errors (cannot occur for finite input).
+pub fn undifference(first_value: f64, diffs: &TimeSeries) -> Result<TimeSeries, DataError> {
+    let mut out = Vec::with_capacity(diffs.len() + 1);
+    let mut level = first_value;
+    out.push(level);
+    for &d in diffs.values() {
+        level += d;
+        out.push(level);
+    }
+    TimeSeries::new(format!("{}~undiff", diffs.name()), out)
+}
+
+/// Centered moving average of odd width `w` (edges use shrunken windows, so
+/// length is preserved).
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] when `window` is zero or even.
+pub fn moving_average(series: &TimeSeries, window: usize) -> Result<TimeSeries, DataError> {
+    if window == 0 || window.is_multiple_of(2) {
+        return Err(DataError::InvalidParameter(format!(
+            "moving average width {window} must be odd and >= 1"
+        )));
+    }
+    let v = series.values();
+    let half = window / 2;
+    let out: Vec<f64> = (0..v.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(v.len());
+            v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    TimeSeries::new(format!("{}~ma{window}", series.name()), out)
+}
+
+/// Keep every `factor`-th sample (e.g. hourly → 6-hourly with factor 6).
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] when `factor` is zero.
+pub fn decimate(series: &TimeSeries, factor: usize) -> Result<TimeSeries, DataError> {
+    if factor == 0 {
+        return Err(DataError::InvalidParameter("decimation factor must be >= 1".into()));
+    }
+    let out: Vec<f64> = series.values().iter().step_by(factor).copied().collect();
+    TimeSeries::new(format!("{}~dec{factor}", series.name()), out)
+}
+
+/// Log transform `ln(x + shift)` for positive-support series (e.g. sunspot
+/// counts); `shift` handles exact zeros.
+///
+/// # Errors
+/// [`DataError::InvalidParameter`] when any `x + shift <= 0`.
+pub fn log_transform(series: &TimeSeries, shift: f64) -> Result<TimeSeries, DataError> {
+    let v = series.values();
+    if let Some(idx) = v.iter().position(|&x| x + shift <= 0.0) {
+        return Err(DataError::InvalidParameter(format!(
+            "log transform undefined at index {idx}: value {} + shift {shift} <= 0",
+            v[idx]
+        )));
+    }
+    let out = v.iter().map(|&x| (x + shift).ln()).collect();
+    TimeSeries::new(format!("{}~log", series.name()), out)
+}
+
+/// Invert [`log_transform`].
+///
+/// # Errors
+/// Propagates series-construction errors (cannot occur for finite input).
+pub fn exp_transform(series: &TimeSeries, shift: f64) -> Result<TimeSeries, DataError> {
+    let out = series.values().iter().map(|&x| x.exp() - shift).collect();
+    TimeSeries::new(format!("{}~exp", series.name()), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ts(values: Vec<f64>) -> TimeSeries {
+        TimeSeries::new("x", values).unwrap()
+    }
+
+    #[test]
+    fn difference_basic() {
+        let d = difference(&ts(vec![1.0, 3.0, 6.0, 10.0])).unwrap();
+        assert_eq!(d.values(), &[2.0, 3.0, 4.0]);
+        assert!(d.name().contains("diff"));
+        assert!(difference(&ts(vec![1.0])).is_err());
+    }
+
+    #[test]
+    fn undifference_restores_levels() {
+        let original = ts(vec![5.0, 2.0, 7.0, 7.5]);
+        let d = difference(&original).unwrap();
+        let rebuilt = undifference(5.0, &d).unwrap();
+        for (a, b) in rebuilt.values().iter().zip(original.values()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_smooths_and_preserves_length() {
+        let s = ts(vec![0.0, 10.0, 0.0, 10.0, 0.0, 10.0]);
+        let m = moving_average(&s, 3).unwrap();
+        assert_eq!(m.len(), s.len());
+        // Interior points average to ~(0+10+0)/3 etc — variance drops.
+        assert!(m.std_dev() < s.std_dev());
+        assert!(moving_average(&s, 2).is_err());
+        assert!(moving_average(&s, 0).is_err());
+    }
+
+    #[test]
+    fn moving_average_width_one_is_identity() {
+        let s = ts(vec![1.0, -2.0, 3.0]);
+        let m = moving_average(&s, 1).unwrap();
+        assert_eq!(m.values(), s.values());
+    }
+
+    #[test]
+    fn decimate_picks_every_kth() {
+        let s = ts((0..10).map(|i| i as f64).collect());
+        let d = decimate(&s, 3).unwrap();
+        assert_eq!(d.values(), &[0.0, 3.0, 6.0, 9.0]);
+        assert!(decimate(&s, 0).is_err());
+        assert_eq!(decimate(&s, 1).unwrap().values(), s.values());
+    }
+
+    #[test]
+    fn log_exp_round_trip() {
+        let s = ts(vec![0.0, 1.0, 10.0, 100.0]);
+        let logged = log_transform(&s, 1.0).unwrap();
+        let back = exp_transform(&logged, 1.0).unwrap();
+        for (a, b) in back.values().iter().zip(s.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+        assert!(log_transform(&ts(vec![-2.0]), 1.0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn diff_undiff_identity(
+            v in proptest::collection::vec(-1e4..1e4f64, 2..64)
+        ) {
+            let s = ts(v.clone());
+            let d = difference(&s).unwrap();
+            let r = undifference(v[0], &d).unwrap();
+            for (a, b) in r.values().iter().zip(&v) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn moving_average_bounded_by_extremes(
+            v in proptest::collection::vec(-1e3..1e3f64, 1..64),
+            half in 0usize..4,
+        ) {
+            let s = ts(v.clone());
+            let m = moving_average(&s, 2 * half + 1).unwrap();
+            let (lo, hi) = s.range();
+            for &x in m.values() {
+                prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+            }
+        }
+
+        #[test]
+        fn decimate_length(
+            v in proptest::collection::vec(-1.0..1.0f64, 1..64),
+            factor in 1usize..8,
+        ) {
+            let s = ts(v.clone());
+            let d = decimate(&s, factor).unwrap();
+            prop_assert_eq!(d.len(), v.len().div_ceil(factor));
+        }
+    }
+}

@@ -1,0 +1,400 @@
+//! Sliding-window datasets.
+//!
+//! The paper's encoding: a window of `D` values taken at consecutive time
+//! instants `X_i = (x_i, ..., x_{i+D-1})` predicts the target
+//! `v_i = x_{i+D-1+τ}`, where `τ` is the prediction horizon. A
+//! [`WindowedDataset`] is a view over a series exposing exactly those
+//! `(window, target)` pairs; the evolutionary engine iterates it millions of
+//! times, so contiguous windows are slices into the original storage.
+//!
+//! [`WindowSpec::with_spacing`] generalizes to the delay-embedding used
+//! throughout the Mackey-Glass literature (taps at `t, t-Δ, t-2Δ, ...`, e.g.
+//! Platt's RAN predicts `x(t+85)` from `x(t), x(t-6), x(t-12), x(t-18)`).
+//! Strided windows are materialized once into a dense buffer at dataset
+//! construction, so the hot matching loop still sees plain slices.
+
+use crate::error::DataError;
+use evoforecast_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+fn default_spacing() -> usize {
+    1
+}
+
+/// Window length `D`, prediction horizon `τ`, and tap spacing `Δ`.
+///
+/// ```
+/// use evoforecast_tsdata::window::WindowSpec;
+///
+/// let values: Vec<f64> = (0..10).map(|i| i as f64).collect();
+/// let ds = WindowSpec::new(3, 2).unwrap().dataset(&values).unwrap();
+/// assert_eq!(ds.window(0), &[0.0, 1.0, 2.0]); // X_0
+/// assert_eq!(ds.target(0), 4.0);              // x_{0 + D - 1 + τ}
+///
+/// // Delay embedding: taps 6 apart, as in the Mackey-Glass literature.
+/// let spaced = WindowSpec::with_spacing(4, 85, 6).unwrap();
+/// assert_eq!(spaced.spacing(), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WindowSpec {
+    window: usize,
+    horizon: usize,
+    #[serde(default = "default_spacing")]
+    spacing: usize,
+}
+
+impl WindowSpec {
+    /// Create a spec with window length `D >= 1`, horizon `τ >= 1`, and
+    /// consecutive taps (spacing 1) — the paper's encoding.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] when `window == 0` or `horizon == 0`.
+    pub fn new(window: usize, horizon: usize) -> Result<Self, DataError> {
+        Self::with_spacing(window, horizon, 1)
+    }
+
+    /// Create a delay-embedding spec: taps at `i, i+Δ, ..., i+(D-1)Δ`,
+    /// target `τ` steps after the last tap.
+    ///
+    /// # Errors
+    /// [`DataError::InvalidParameter`] when any parameter is zero.
+    pub fn with_spacing(window: usize, horizon: usize, spacing: usize) -> Result<Self, DataError> {
+        if window == 0 {
+            return Err(DataError::InvalidParameter("window length D must be >= 1".into()));
+        }
+        if horizon == 0 {
+            return Err(DataError::InvalidParameter(
+                "prediction horizon τ must be >= 1".into(),
+            ));
+        }
+        if spacing == 0 {
+            return Err(DataError::InvalidParameter("tap spacing Δ must be >= 1".into()));
+        }
+        Ok(WindowSpec {
+            window,
+            horizon,
+            spacing,
+        })
+    }
+
+    /// Window length `D`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Prediction horizon `τ`.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Tap spacing `Δ` (1 = consecutive).
+    pub fn spacing(&self) -> usize {
+        self.spacing
+    }
+
+    /// Offset from a window's start to its target:
+    /// `(D-1)·Δ + τ`.
+    fn target_offset(&self) -> usize {
+        (self.window - 1) * self.spacing + self.horizon
+    }
+
+    /// Number of `(window, target)` pairs a series of length `n` yields.
+    pub fn pair_count(&self, n: usize) -> usize {
+        n.saturating_sub(self.target_offset())
+    }
+
+    /// Build the dataset view over `values`. Strided specs (`Δ > 1`)
+    /// materialize their windows into a dense buffer here, once.
+    ///
+    /// # Errors
+    /// [`DataError::WindowTooLarge`] when the series yields zero pairs.
+    pub fn dataset<'a>(&self, values: &'a [f64]) -> Result<WindowedDataset<'a>, DataError> {
+        let count = self.pair_count(values.len());
+        if count == 0 {
+            return Err(DataError::WindowTooLarge {
+                needed: self.target_offset() + 1,
+                available: values.len(),
+            });
+        }
+        let strided = if self.spacing > 1 {
+            let d = self.window;
+            let mut buf = Vec::with_capacity(count * d);
+            for i in 0..count {
+                for k in 0..d {
+                    buf.push(values[i + k * self.spacing]);
+                }
+            }
+            Some(buf.into_boxed_slice())
+        } else {
+            None
+        };
+        Ok(WindowedDataset {
+            values,
+            spec: *self,
+            strided,
+        })
+    }
+}
+
+/// `(window, target)` view over a series. Contiguous windows are zero-copy
+/// slices of the original series; strided windows read from a buffer
+/// materialized at construction.
+#[derive(Debug, Clone)]
+pub struct WindowedDataset<'a> {
+    values: &'a [f64],
+    spec: WindowSpec,
+    strided: Option<Box<[f64]>>,
+}
+
+impl<'a> WindowedDataset<'a> {
+    /// The window/horizon parameters.
+    pub fn spec(&self) -> WindowSpec {
+        self.spec
+    }
+
+    /// Number of `(window, target)` pairs.
+    pub fn len(&self) -> usize {
+        self.spec.pair_count(self.values.len())
+    }
+
+    /// Always false: construction guarantees at least one pair.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `i`-th input window (`D` values at spacing `Δ`).
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn window(&self, i: usize) -> &[f64] {
+        match &self.strided {
+            None => &self.values[i..i + self.spec.window],
+            Some(buf) => &buf[i * self.spec.window..(i + 1) * self.spec.window],
+        }
+    }
+
+    /// The `i`-th target `x_{i + (D-1)Δ + τ}`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    #[inline]
+    pub fn target(&self, i: usize) -> f64 {
+        self.values[i + (self.spec.window - 1) * self.spec.spacing + self.spec.horizon]
+    }
+
+    /// Iterate `(window, target)` pairs oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], f64)> + '_ {
+        (0..self.len()).map(move |i| (self.window(i), self.target(i)))
+    }
+
+    /// All targets as an owned vector.
+    pub fn targets(&self) -> Vec<f64> {
+        (0..self.len()).map(|i| self.target(i)).collect()
+    }
+
+    /// Dense design matrix (`len x D`) of all windows — the input format of
+    /// the neural baselines. The rule system never materializes this.
+    pub fn design_matrix(&self) -> Matrix {
+        let d = self.spec.window;
+        let mut m = Matrix::zeros(self.len(), d);
+        for i in 0..self.len() {
+            m.row_mut(i).copy_from_slice(self.window(i));
+        }
+        m
+    }
+
+    /// The underlying raw series.
+    pub fn raw_values(&self) -> &'a [f64] {
+        self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ramp(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(WindowSpec::new(0, 1).is_err());
+        assert!(WindowSpec::new(3, 0).is_err());
+        assert!(WindowSpec::with_spacing(3, 1, 0).is_err());
+        let s = WindowSpec::new(3, 2).unwrap();
+        assert_eq!(s.window(), 3);
+        assert_eq!(s.horizon(), 2);
+        assert_eq!(s.spacing(), 1);
+        let e = WindowSpec::with_spacing(4, 85, 6).unwrap();
+        assert_eq!(e.spacing(), 6);
+    }
+
+    #[test]
+    fn pair_count_formula() {
+        let s = WindowSpec::new(3, 2).unwrap();
+        // Need indices i..i+2 and target i+2+2 => i+4 <= n-1 => count = n-4.
+        assert_eq!(s.pair_count(10), 6);
+        assert_eq!(s.pair_count(5), 1);
+        assert_eq!(s.pair_count(4), 0);
+        assert_eq!(s.pair_count(0), 0);
+        // Spaced: D=4, Δ=6, τ=85 -> offset = 18 + 85 = 103.
+        let e = WindowSpec::with_spacing(4, 85, 6).unwrap();
+        assert_eq!(e.pair_count(104), 1);
+        assert_eq!(e.pair_count(103), 0);
+    }
+
+    #[test]
+    fn windows_and_targets_line_up() {
+        let vals = ramp(10);
+        let ds = WindowSpec::new(3, 2).unwrap().dataset(&vals).unwrap();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds.window(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(ds.target(0), 4.0); // x_{0+3-1+2} = x_4
+        assert_eq!(ds.window(5), &[5.0, 6.0, 7.0]);
+        assert_eq!(ds.target(5), 9.0);
+    }
+
+    #[test]
+    fn strided_windows_pick_spaced_taps() {
+        let vals = ramp(30);
+        // D=4, Δ=3, τ=2: window 0 = [0, 3, 6, 9], target = x_{9+2} = 11.
+        let ds = WindowSpec::with_spacing(4, 2, 3).unwrap().dataset(&vals).unwrap();
+        assert_eq!(ds.window(0), &[0.0, 3.0, 6.0, 9.0]);
+        assert_eq!(ds.target(0), 11.0);
+        assert_eq!(ds.window(5), &[5.0, 8.0, 11.0, 14.0]);
+        assert_eq!(ds.target(5), 16.0);
+        assert_eq!(ds.len(), 30 - 11);
+    }
+
+    #[test]
+    fn spacing_one_matches_contiguous_path() {
+        let vals = ramp(20);
+        let contiguous = WindowSpec::new(4, 3).unwrap().dataset(&vals).unwrap();
+        let spaced = WindowSpec::with_spacing(4, 3, 1).unwrap().dataset(&vals).unwrap();
+        assert_eq!(contiguous.len(), spaced.len());
+        for i in 0..contiguous.len() {
+            assert_eq!(contiguous.window(i), spaced.window(i));
+            assert_eq!(contiguous.target(i), spaced.target(i));
+        }
+    }
+
+    #[test]
+    fn horizon_one_predicts_next() {
+        let vals = ramp(6);
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        for (w, t) in ds.iter() {
+            assert_eq!(t, w[1] + 1.0);
+        }
+    }
+
+    #[test]
+    fn too_short_series_rejected() {
+        let vals = ramp(4);
+        assert!(matches!(
+            WindowSpec::new(3, 2).unwrap().dataset(&vals),
+            Err(DataError::WindowTooLarge {
+                needed: 5,
+                available: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn exactly_one_pair() {
+        let vals = ramp(5);
+        let ds = WindowSpec::new(3, 2).unwrap().dataset(&vals).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.window(0), &[0.0, 1.0, 2.0]);
+        assert_eq!(ds.target(0), 4.0);
+    }
+
+    #[test]
+    fn design_matrix_and_targets() {
+        let vals = ramp(6);
+        let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
+        let m = ds.design_matrix();
+        assert_eq!(m.shape(), (4, 2));
+        assert_eq!(m.row(0), &[0.0, 1.0]);
+        assert_eq!(m.row(3), &[3.0, 4.0]);
+        assert_eq!(ds.targets(), vec![2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn iter_matches_indexing() {
+        let vals = ramp(12);
+        let ds = WindowSpec::new(4, 3).unwrap().dataset(&vals).unwrap();
+        for (i, (w, t)) in ds.iter().enumerate() {
+            assert_eq!(w, ds.window(i));
+            assert_eq!(t, ds.target(i));
+        }
+        assert_eq!(ds.iter().count(), ds.len());
+    }
+
+    #[test]
+    fn spec_serde_round_trip_and_default_spacing() {
+        let s = WindowSpec::with_spacing(24, 4, 2).unwrap();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: WindowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(s, back);
+        // Older serialized specs lack the spacing field: default to 1.
+        let legacy: WindowSpec = serde_json::from_str(r#"{"window":3,"horizon":2}"#).unwrap();
+        assert_eq!(legacy.spacing(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn every_window_is_contiguous_slice(
+            n in 2usize..128,
+            d in 1usize..16,
+            tau in 1usize..8,
+        ) {
+            let vals = ramp(n);
+            let spec = WindowSpec::new(d, tau).unwrap();
+            match spec.dataset(&vals) {
+                Ok(ds) => {
+                    prop_assert_eq!(ds.len(), n - (d + tau - 1));
+                    for i in 0..ds.len() {
+                        let w = ds.window(i);
+                        prop_assert_eq!(w.len(), d);
+                        // On a ramp, window values are consecutive integers.
+                        for (k, &v) in w.iter().enumerate() {
+                            prop_assert_eq!(v, (i + k) as f64);
+                        }
+                        prop_assert_eq!(ds.target(i), (i + d - 1 + tau) as f64);
+                    }
+                }
+                Err(_) => prop_assert!(n < d + tau),
+            }
+        }
+
+        #[test]
+        fn strided_windows_read_correct_taps(
+            n in 2usize..160,
+            d in 1usize..6,
+            tau in 1usize..6,
+            spacing in 1usize..5,
+        ) {
+            let vals = ramp(n);
+            let spec = WindowSpec::with_spacing(d, tau, spacing).unwrap();
+            match spec.dataset(&vals) {
+                Ok(ds) => {
+                    for i in 0..ds.len() {
+                        let w = ds.window(i);
+                        for (k, &v) in w.iter().enumerate() {
+                            prop_assert_eq!(v, (i + k * spacing) as f64);
+                        }
+                        prop_assert_eq!(
+                            ds.target(i),
+                            (i + (d - 1) * spacing + tau) as f64
+                        );
+                    }
+                }
+                Err(_) => prop_assert!(n <= (d - 1) * spacing + tau),
+            }
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! `evoforecast` — facade crate.
+//!
+//! Re-exports the workspace sub-crates behind one import so examples and
+//! downstream users can write `use evoforecast::core::...`.
+//!
+//! See `DESIGN.md` at the repository root for the full system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record of every table/figure.
+
+#![warn(missing_docs)]
+
+pub use evoforecast_core as core;
+pub use evoforecast_linalg as linalg;
+pub use evoforecast_metrics as metrics;
+pub use evoforecast_neural as neural;
+pub use evoforecast_tsdata as tsdata;
