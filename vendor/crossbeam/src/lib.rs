@@ -1,0 +1,98 @@
+//! Offline vendored subset of the `crossbeam` API.
+//!
+//! Only [`channel::unbounded`] and the [`channel::Sender`] /
+//! [`channel::Receiver`] pair are provided, backed by `std::sync::mpsc`
+//! (whose `Sender` is `Sync` since Rust 1.72, which is all the parallel
+//! ensemble needs to share one sender across worker threads).
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer channels.
+
+    use std::sync::mpsc;
+
+    /// Sending half of an unbounded channel.
+    #[derive(Debug, Clone)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// Receiving half of an unbounded channel.
+    #[derive(Debug)]
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side has been dropped.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message; fails only when the receiver was dropped.
+        ///
+        /// # Errors
+        /// [`SendError`] carrying the unsent message back.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Iterate over the messages currently queued without blocking.
+        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.try_iter()
+        }
+
+        /// Receive one message, blocking until one arrives.
+        ///
+        /// # Errors
+        /// Errors when every sender was dropped and the queue is empty.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn round_trip_and_try_iter() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.clone().send(2).unwrap();
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, vec![1, 2]);
+        }
+
+        #[test]
+        fn dropped_receiver_reports_error() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert!(tx.send(1).is_err());
+        }
+
+        #[test]
+        fn sender_shared_across_threads() {
+            let (tx, rx) = unbounded::<usize>();
+            std::thread::scope(|scope| {
+                for i in 0..4 {
+                    let tx = &tx;
+                    scope.spawn(move || tx.send(i).unwrap());
+                }
+            });
+            let mut got: Vec<usize> = rx.try_iter().collect();
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+    }
+}

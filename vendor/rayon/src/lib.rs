@@ -1,0 +1,298 @@
+//! Offline vendored subset of the `rayon` API.
+//!
+//! Implements the slice of the parallel-iterator surface this workspace uses
+//! — `into_par_iter` on index ranges, `par_iter` on slices, `map` / `filter`
+//! / `enumerate` / `collect` — over `std::thread::scope` with contiguous
+//! per-thread chunks whose results are concatenated in chunk order. That
+//! preserves rayon's indexed-collect guarantee the engine relies on:
+//! **parallel results are identical to sequential ones, in the same order**,
+//! regardless of thread count.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Number of worker threads used for parallel evaluation.
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(64)
+}
+
+/// A parallel iterator: a fixed-length indexed source where evaluating
+/// position `i` yields `Some(item)` or `None` (filtered out).
+pub trait ParallelIterator: Sized + Send + Sync {
+    /// The element type.
+    type Item: Send;
+
+    /// Number of base positions.
+    fn par_len(&self) -> usize;
+
+    /// Evaluate base position `i`.
+    fn eval(&self, i: usize) -> Option<Self::Item>;
+
+    /// Transform every element.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only elements satisfying the predicate.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Pair every element with its index. As with rayon's indexed iterators,
+    /// this is meaningful on an unfiltered chain (the index is the base
+    /// position).
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { inner: self }
+    }
+
+    /// Evaluate in parallel, preserving order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Gather all items, in source order.
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(par: P) -> Vec<T> {
+        let n = par.par_len();
+        let workers = thread_count().min(n.max(1));
+        if workers <= 1 {
+            return (0..n).filter_map(|i| par.eval(i)).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let par = &par;
+                    scope.spawn(move || {
+                        let lo = w * chunk;
+                        let hi = ((w + 1) * chunk).min(n);
+                        (lo..hi).filter_map(|i| par.eval(i)).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("rayon shim worker panicked"));
+            }
+        });
+        let mut out = Vec::with_capacity(parts.iter().map(Vec::len).sum());
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// `map` adapter.
+pub struct Map<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn eval(&self, i: usize) -> Option<R> {
+        self.inner.eval(i).map(&self.f)
+    }
+}
+
+/// `filter` adapter.
+pub struct Filter<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Send + Sync,
+{
+    type Item = I::Item;
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn eval(&self, i: usize) -> Option<I::Item> {
+        self.inner.eval(i).filter(|item| (self.f)(item))
+    }
+}
+
+/// `enumerate` adapter.
+pub struct Enumerate<I> {
+    inner: I,
+}
+
+impl<I: ParallelIterator> ParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn par_len(&self) -> usize {
+        self.inner.par_len()
+    }
+
+    fn eval(&self, i: usize) -> Option<(usize, I::Item)> {
+        self.inner.eval(i).map(|item| (i, item))
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.range.end.saturating_sub(self.range.start)
+    }
+
+    fn eval(&self, i: usize) -> Option<usize> {
+        Some(self.range.start + i)
+    }
+}
+
+/// Parallel iterator borrowing a slice.
+pub struct ParSlice<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn eval(&self, i: usize) -> Option<&'a T> {
+        Some(&self.slice[i])
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Conversion into a borrowing parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send + 'a;
+
+    /// Iterate in parallel over references.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync + Send + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_filter_collect_preserves_order() {
+        let par: Vec<usize> = (0..10_000).into_par_iter().filter(|i| i % 7 == 0).collect();
+        let seq: Vec<usize> = (0..10_000).filter(|i| i % 7 == 0).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let par: Vec<u64> = (0..5_000)
+            .into_par_iter()
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        let seq: Vec<u64> = (0..5_000)
+            .map(|i| (i as u64).wrapping_mul(0x9E3779B97F4A7C15))
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn slice_par_iter_enumerate_map() {
+        let data: Vec<i32> = (0..1_000).map(|i| i * 3).collect();
+        let par: Vec<(usize, i32)> = data.par_iter().enumerate().map(|(i, &v)| (i, v + 1)).collect();
+        for (i, v) in par {
+            assert_eq!(v, data[i] + 1);
+        }
+    }
+
+    #[test]
+    fn empty_range() {
+        let par: Vec<usize> = (5..5).into_par_iter().collect();
+        assert!(par.is_empty());
+    }
+
+    #[test]
+    fn single_element() {
+        let par: Vec<usize> = (3..4).into_par_iter().collect();
+        assert_eq!(par, vec![3]);
+    }
+}

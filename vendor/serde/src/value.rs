@@ -1,0 +1,65 @@
+//! The dynamically typed value tree both shim crates speak.
+
+/// A JSON-shaped value.
+///
+/// Numbers keep their lexical class (`I64` / `U64` / `F64`) so integer fields
+/// like seeds and thresholds round-trip exactly, never through a double.
+/// Objects are ordered key/value pairs so serialized field order is stable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Negative integer literal.
+    I64(i64),
+    /// Non-negative integer literal.
+    U64(u64),
+    /// Floating-point literal.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrow the string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Look up a key in object entries.
+pub fn find<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_locates_keys() {
+        let obj = vec![
+            ("a".to_string(), Value::U64(1)),
+            ("b".to_string(), Value::Null),
+        ];
+        assert_eq!(find(&obj, "a"), Some(&Value::U64(1)));
+        assert_eq!(find(&obj, "b"), Some(&Value::Null));
+        assert_eq!(find(&obj, "c"), None);
+    }
+}

@@ -1,0 +1,531 @@
+//! Offline vendored `serde_derive`.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based) for the item shapes this workspace uses:
+//!
+//! * structs with named fields, unit structs;
+//! * enums with unit and struct variants, externally tagged by default or
+//!   internally tagged via `#[serde(tag = "...")]`;
+//! * `#[serde(rename_all = "kebab-case" | "snake_case" | "lowercase")]`
+//!   (fields of a struct, variants of an enum);
+//! * field-level `#[serde(default)]` and `#[serde(default = "path")]`.
+//!
+//! The input item is parsed directly from the token stream — no `syn` or
+//! `quote`, since the build is fully offline. Generics are not supported and
+//! fail loudly at compile time.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Item model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    kind: ItemKind,
+}
+
+enum ItemKind {
+    UnitStruct,
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: Option<DefaultKind>,
+    rename: Option<String>,
+}
+
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+struct Variant {
+    name: String,
+    /// `None` for unit variants, `Some(fields)` for struct variants.
+    fields: Option<Vec<Field>>,
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+/// `(key, value)` pairs found in `#[serde(...)]` attributes; bare keys carry
+/// `None`.
+type SerdeKvs = Vec<(String, Option<String>)>;
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_kvs = take_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i, "struct/enum keyword");
+    let name = expect_ident(&toks, &mut i, "item name");
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    let mut tag = None;
+    let mut rename_all = None;
+    for (key, value) in container_kvs {
+        match key.as_str() {
+            "tag" => tag = value,
+            "rename_all" => rename_all = value,
+            other => panic!("serde_derive shim: unsupported container attribute `{other}`"),
+        }
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Struct(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            _ => panic!("serde_derive shim: struct `{name}` must have named fields or be a unit struct"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            _ => panic!("serde_derive shim: malformed enum `{name}`"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        tag,
+        rename_all,
+        kind,
+    }
+}
+
+/// Consume any leading `#[...]` attributes, returning the union of all
+/// `#[serde(...)]` key/value pairs among them.
+fn take_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeKvs {
+    let mut kvs = SerdeKvs::new();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let Some(TokenTree::Group(g)) = toks.get(*i) else {
+            panic!("serde_derive shim: `#` not followed by an attribute group");
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(head)) = inner.first() {
+            if head.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    parse_serde_kvs(args.stream(), &mut kvs);
+                }
+            }
+        }
+    }
+    kvs
+}
+
+fn parse_serde_kvs(stream: TokenStream, out: &mut SerdeKvs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        let key = expect_ident(&toks, &mut i, "serde attribute key");
+        let mut value = None;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            match toks.get(i) {
+                Some(TokenTree::Literal(l)) => {
+                    value = Some(unquote(&l.to_string()));
+                    i += 1;
+                }
+                _ => panic!("serde_derive shim: expected string after `{key} =`"),
+            }
+        }
+        out.push((key, value));
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let kvs = take_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i, "field name");
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde_derive shim: expected `:` after field `{name}`"),
+        }
+        skip_type(&toks, &mut i);
+
+        let mut default = None;
+        let mut rename = None;
+        for (key, value) in kvs {
+            match (key.as_str(), value) {
+                ("default", None) => default = Some(DefaultKind::Std),
+                ("default", Some(path)) => default = Some(DefaultKind::Path(path)),
+                ("rename", Some(to)) => rename = Some(to),
+                (other, _) => {
+                    panic!("serde_derive shim: unsupported field attribute `{other}` on `{name}`")
+                }
+            }
+        }
+        fields.push(Field {
+            name,
+            default,
+            rename,
+        });
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        // Variant attributes (`#[default]`, doc comments) carry no serde
+        // keys we support; just consume them.
+        let kvs = take_attrs(&toks, &mut i);
+        if let Some((key, _)) = kvs.first() {
+            panic!("serde_derive shim: unsupported variant attribute `{key}`");
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i, "variant name");
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Some(parse_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple variant `{name}` is not supported")
+            }
+            _ => None,
+        };
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Skip a type expression: everything up to the next comma at angle-bracket
+/// depth zero (commas inside `(...)` / `[...]` groups are already hidden
+/// inside `TokenTree::Group`s).
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize, what: &str) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected {what}, found {other:?}"),
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+// ---------------------------------------------------------------------------
+// Renaming
+// ---------------------------------------------------------------------------
+
+fn apply_rename_all(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        None => name.to_string(),
+        Some("kebab-case") => delimited_lowercase(name, '-'),
+        Some("snake_case") => delimited_lowercase(name, '_'),
+        Some("lowercase") => name.to_lowercase(),
+        Some(other) => panic!("serde_derive shim: unsupported rename_all rule `{other}`"),
+    }
+}
+
+fn delimited_lowercase(name: &str, sep: char) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (idx, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if idx > 0 {
+                out.push(sep);
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn field_key(item_rename_all: Option<&str>, field: &Field, container_is_struct: bool) -> String {
+    if let Some(rename) = &field.rename {
+        return rename.clone();
+    }
+    // `rename_all` on a struct renames fields; on an enum it renames
+    // variants, not the fields inside struct variants.
+    if container_is_struct {
+        apply_rename_all(item_rename_all, &field.name)
+    } else {
+        field.name.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Serialize
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::value::Value";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!("{VALUE}::Null"),
+        ItemKind::Struct(fields) => {
+            let mut code = String::from("{ let mut __obj: ::std::vec::Vec<(::std::string::String, ");
+            code.push_str(VALUE);
+            code.push_str(")> = ::std::vec::Vec::new();\n");
+            for f in fields {
+                let key = field_key(item.rename_all.as_deref(), f, true);
+                code.push_str(&format!(
+                    "__obj.push((::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name
+                ));
+            }
+            code.push_str(&format!("{VALUE}::Object(__obj) }}"));
+            code
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vkey = apply_rename_all(item.rename_all.as_deref(), &v.name);
+                match (&v.fields, &item.tag) {
+                    (None, None) => {
+                        // Externally tagged unit variant: a bare string.
+                        arms.push_str(&format!(
+                            "{name}::{} => {VALUE}::Str(::std::string::String::from(\"{vkey}\")),\n",
+                            v.name
+                        ));
+                    }
+                    (None, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{} => {VALUE}::Object(::std::vec![(::std::string::String::from(\"{tag}\"), {VALUE}::Str(::std::string::String::from(\"{vkey}\")))]),\n",
+                            v.name
+                        ));
+                    }
+                    (Some(fields), tag) => {
+                        let bindings: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pat = bindings.join(", ");
+                        let mut arm = format!("{name}::{} {{ {pat} }} => {{\n", v.name);
+                        arm.push_str("let mut __obj: ::std::vec::Vec<(::std::string::String, ");
+                        arm.push_str(VALUE);
+                        arm.push_str(")> = ::std::vec::Vec::new();\n");
+                        if let Some(tag) = tag {
+                            arm.push_str(&format!(
+                                "__obj.push((::std::string::String::from(\"{tag}\"), {VALUE}::Str(::std::string::String::from(\"{vkey}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            let key = field_key(None, f, false);
+                            arm.push_str(&format!(
+                                "__obj.push((::std::string::String::from(\"{key}\"), ::serde::Serialize::to_value({})));\n",
+                                f.name
+                            ));
+                        }
+                        if tag.is_some() {
+                            arm.push_str(&format!("{VALUE}::Object(__obj)\n}},\n"));
+                        } else {
+                            // Externally tagged: {"Variant": {fields}}.
+                            arm.push_str(&format!(
+                                "{VALUE}::Object(::std::vec![(::std::string::String::from(\"{vkey}\"), {VALUE}::Object(__obj))])\n}},\n"
+                            ));
+                        }
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> {VALUE} {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Code generation: Deserialize
+// ---------------------------------------------------------------------------
+
+/// Emit `let __f_<name> = ...;` bindings reading `fields` out of the object
+/// entries bound to `__entries`, then the struct-literal field list.
+fn gen_read_fields(type_path: &str, fields: &[Field], rename_all: Option<&str>, is_struct: bool) -> (String, String) {
+    let mut reads = String::new();
+    let mut literal = String::new();
+    for f in fields {
+        let key = field_key(rename_all, f, is_struct);
+        let missing = match &f.default {
+            Some(DefaultKind::Std) => "::std::default::Default::default()".to_string(),
+            Some(DefaultKind::Path(path)) => format!("{path}()"),
+            None => format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(\"{type_path}: missing field `{key}`\"))"
+            ),
+        };
+        reads.push_str(&format!(
+            "let __f_{0} = match ::serde::value::find(__entries, \"{key}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => {missing},\n}};\n",
+            f.name
+        ));
+        literal.push_str(&format!("{0}: __f_{0}, ", f.name));
+    }
+    (reads, literal)
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::UnitStruct => format!(
+            "match __v {{\n\
+             {VALUE}::Null => ::std::result::Result::Ok({name}),\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\"{name}: expected null\")),\n}}"
+        ),
+        ItemKind::Struct(fields) => {
+            let (reads, literal) =
+                gen_read_fields(name, fields, item.rename_all.as_deref(), true);
+            format!(
+                "let __entries = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+                 {reads}\
+                 ::std::result::Result::Ok({name} {{ {literal} }})"
+            )
+        }
+        ItemKind::Enum(variants) => gen_deserialize_enum(item, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &{VALUE}) -> ::std::result::Result<{name}, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(item: &Item, variants: &[Variant]) -> String {
+    let name = &item.name;
+    if let Some(tag) = &item.tag {
+        // Internally tagged: {"<tag>": "<variant>", ...fields}.
+        let mut arms = String::new();
+        for v in variants {
+            let vkey = apply_rename_all(item.rename_all.as_deref(), &v.name);
+            match &v.fields {
+                None => arms.push_str(&format!(
+                    "\"{vkey}\" => ::std::result::Result::Ok({name}::{}),\n",
+                    v.name
+                )),
+                Some(fields) => {
+                    let (reads, literal) =
+                        gen_read_fields(&format!("{name}::{}", v.name), fields, None, false);
+                    arms.push_str(&format!(
+                        "\"{vkey}\" => {{\n{reads}::std::result::Result::Ok({name}::{} {{ {literal} }})\n}},\n",
+                        v.name
+                    ));
+                }
+            }
+        }
+        format!(
+            "let __entries = __v.as_object().ok_or_else(|| ::serde::Error::custom(\"{name}: expected object\"))?;\n\
+             let __tag = ::serde::value::find(__entries, \"{tag}\")\
+             .and_then({VALUE}::as_str)\
+             .ok_or_else(|| ::serde::Error::custom(\"{name}: missing tag `{tag}`\"))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}"
+        )
+    } else {
+        // Externally tagged: "<variant>" for unit, {"<variant>": {...}} else.
+        let mut unit_arms = String::new();
+        let mut object_arms = String::new();
+        for v in variants {
+            let vkey = apply_rename_all(item.rename_all.as_deref(), &v.name);
+            match &v.fields {
+                None => unit_arms.push_str(&format!(
+                    "\"{vkey}\" => ::std::result::Result::Ok({name}::{}),\n",
+                    v.name
+                )),
+                Some(fields) => {
+                    let (reads, literal) =
+                        gen_read_fields(&format!("{name}::{}", v.name), fields, None, false);
+                    object_arms.push_str(&format!(
+                        "\"{vkey}\" => {{\n\
+                         let __entries = __inner.as_object().ok_or_else(|| ::serde::Error::custom(\"{name}::{0}: expected object\"))?;\n\
+                         {reads}::std::result::Result::Ok({name}::{0} {{ {literal} }})\n}},\n",
+                        v.name
+                    ));
+                }
+            }
+        }
+        format!(
+            "match __v {{\n\
+             {VALUE}::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}},\n\
+             {VALUE}::Object(__o) if __o.len() == 1 => {{\n\
+             let (__k, __inner) = &__o[0];\n\
+             match __k.as_str() {{\n{object_arms}\
+             __other => ::std::result::Result::Err(::serde::Error::custom(::std::format!(\"{name}: unknown variant `{{__other}}`\"))),\n}}\n}},\n\
+             _ => ::std::result::Result::Err(::serde::Error::custom(\"{name}: expected string or single-key object\")),\n}}"
+        )
+    }
+}

@@ -1,0 +1,136 @@
+//! Offline vendored subset of `serde_json`.
+//!
+//! Formats and parses JSON text over the vendored `serde` value tree.
+//! Matches upstream `serde_json` conventions the workspace relies on:
+//! compact output with no spaces, pretty output with two-space indentation,
+//! floats printed with a decimal point or exponent (so `1.0` stays a float),
+//! integers kept lexically intact, and non-finite floats as `null`.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize, Value};
+
+pub use serde::Error;
+
+mod parse;
+mod write;
+
+/// Serialize a value to compact JSON.
+///
+/// # Errors
+/// Currently infallible for the supported value shapes; the `Result` mirrors
+/// the upstream signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialize a value to pretty JSON (two-space indent).
+///
+/// # Errors
+/// See [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write::write_value(&mut out, &value.to_value(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Deserialize a value from JSON text.
+///
+/// # Errors
+/// [`Error`] on malformed JSON or when the parsed tree does not match `T`.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    let value = parse::parse(text)?;
+    T::from_value(&value)
+}
+
+/// Parse JSON text into a dynamically typed [`Value`].
+///
+/// # Errors
+/// [`Error`] on malformed JSON.
+pub fn from_str_value(text: &str) -> Result<Value, Error> {
+    parse::parse(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_formatting_matches_serde_json() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::U64(1)),
+            (
+                "b".to_string(),
+                Value::Array(vec![Value::F64(1.5), Value::Bool(true), Value::Null]),
+            ),
+        ]);
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[1.5,true,null]}"#);
+    }
+
+    #[test]
+    fn pretty_formatting_indents_two_spaces() {
+        let v = Value::Object(vec![("a".to_string(), Value::U64(1))]);
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": 1\n}");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&-0.5f64).unwrap(), "-0.5");
+        // Huge magnitudes print in full decimal (Rust Display), but must
+        // still re-parse as the same float.
+        assert_eq!(from_str::<f64>(&to_string(&1e300f64).unwrap()).unwrap(), 1e300);
+    }
+
+    #[test]
+    fn integer_round_trip_is_exact() {
+        let n: u64 = u64::MAX;
+        let s = to_string(&n).unwrap();
+        assert_eq!(from_str::<u64>(&s).unwrap(), n);
+        let m: i64 = i64::MIN;
+        let s = to_string(&m).unwrap();
+        assert_eq!(from_str::<i64>(&s).unwrap(), m);
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for &x in &[0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -2.2250738585072014e-308] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x, "through {s}");
+        }
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "line1\nline2\t\"quoted\" \\ \u{1} unicode: ué";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn parses_whitespace_and_nesting() {
+        let v: Value = from_str_value(" { \"x\" : [ 1 , -2.5 , { \"y\" : null } ] } ").unwrap();
+        let Value::Object(entries) = v else {
+            panic!("expected object")
+        };
+        assert_eq!(entries[0].0, "x");
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(from_str_value("{").is_err());
+        assert!(from_str_value("[1,]").is_err());
+        assert!(from_str_value("nul").is_err());
+        assert!(from_str_value("1 2").is_err());
+        assert!(from_str_value("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn option_round_trip() {
+        assert_eq!(to_string(&Option::<u64>::None).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("5").unwrap(), Some(5));
+    }
+}
