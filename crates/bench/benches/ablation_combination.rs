@@ -60,7 +60,12 @@ fn main() {
         }
         println!(
             "{name:<24} {:>10} {:>10} {:>10} {:>10}",
-            fmt_opt(pairs.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(
+                pairs
+                    .coverage_percentage()
+                    .map(|p| (p * 10.0).round() / 10.0),
+                1
+            ),
             fmt_opt(pairs.rmse().ok(), 3),
             fmt_opt(pairs.mae().ok(), 3),
             fmt_opt(pairs.max_abs_error().ok(), 2),

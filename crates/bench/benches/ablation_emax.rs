@@ -53,7 +53,12 @@ fn main() {
         println!(
             "{:>12.2} {:>12} {:>10} {:>10} {:>8}",
             fraction,
-            fmt_opt(pairs.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(
+                pairs
+                    .coverage_percentage()
+                    .map(|p| (p * 10.0).round() / 10.0),
+                1
+            ),
             fmt_opt(pairs.rmse().ok(), 3),
             fmt_opt(pairs.max_abs_error().ok(), 2),
             predictor.len(),

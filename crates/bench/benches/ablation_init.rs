@@ -43,7 +43,10 @@ fn main() {
         "{:<10} {:>16} {:>16} {:>12} {:>10}",
         "init", "train-cov@init", "train-cov@end", "valid-cov%", "rmse"
     );
-    for (name, strategy) in [("binned", InitStrategy::Binned), ("random", InitStrategy::Random)] {
+    for (name, strategy) in [
+        ("binned", InitStrategy::Binned),
+        ("random", InitStrategy::Random),
+    ] {
         let config = EngineConfig::for_series(train, spec)
             .with_population(scale.population)
             .with_generations(scale.generations)
@@ -60,7 +63,12 @@ fn main() {
             "{name:<10} {:>15.1}% {:>15.1}% {:>12} {:>10}",
             cov_init * 100.0,
             cov_end * 100.0,
-            fmt_opt(pairs.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(
+                pairs
+                    .coverage_percentage()
+                    .map(|p| (p * 10.0).round() / 10.0),
+                1
+            ),
             fmt_opt(pairs.rmse().ok(), 3),
         );
     }

@@ -88,9 +88,19 @@ fn main() {
 
         println!(
             "{horizon:>4} | {:>18} {:>10} | {:>18} {:>10}",
-            fmt_opt(direct.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(
+                direct
+                    .coverage_percentage()
+                    .map(|p| (p * 10.0).round() / 10.0),
+                1
+            ),
             fmt_opt(direct.rmse().ok(), 3),
-            fmt_opt(iterated.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(
+                iterated
+                    .coverage_percentage()
+                    .map(|p| (p * 10.0).round() / 10.0),
+                1
+            ),
             fmt_opt(iterated.rmse().ok(), 3),
         );
     }

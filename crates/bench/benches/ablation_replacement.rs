@@ -76,7 +76,12 @@ fn main() {
                 ReplacementStrategy::ReplaceWorst => "replace-worst",
                 ReplacementStrategy::ReplaceRandom => "replace-random",
             },
-            fmt_opt(pairs.coverage_percentage().map(|p| (p * 10.0).round() / 10.0), 1),
+            fmt_opt(
+                pairs
+                    .coverage_percentage()
+                    .map(|p| (p * 10.0).round() / 10.0),
+                1
+            ),
             fmt_opt(pairs.rmse().ok(), 4),
             fmt_opt(spread, 4),
             stats_run.replacements,

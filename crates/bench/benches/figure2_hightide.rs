@@ -56,7 +56,11 @@ fn main() {
     println!(
         "highest validation tide: {peak_level:.1} cm at window index {peak_target} \
          ({}acqua alta)",
-        if peak_level > 110.0 { "" } else { "below the 110 cm " }
+        if peak_level > 110.0 {
+            ""
+        } else {
+            "below the 110 cm "
+        }
     );
     println!("\n  t(h)   actual(cm)  predicted(cm)  firing-rules");
 
@@ -100,7 +104,14 @@ fn main() {
         hi - lo + 1,
         abstained,
         fmt_opt(mean_err, 2),
-        fmt_opt(if max_err.is_nan() { None } else { Some(max_err) }, 2),
+        fmt_opt(
+            if max_err.is_nan() {
+                None
+            } else {
+                Some(max_err)
+            },
+            2
+        ),
     );
     println!("Shape check (paper): the prediction visually tracks the unusual excursion —");
     println!("mean |err| over the event should stay in single-digit centimetres.");

@@ -1,0 +1,124 @@
+//! **P1** — Offspring evaluation at Venice scale (45k windows × 24 taps):
+//! the old two-pass pipeline (match → collect indices → materialize the
+//! design matrix → factorize) against the fused single-pass kernel (match
+//! while accumulating the normal equations → Cholesky → residual pass over
+//! matched rows only).
+//!
+//! Three comparators:
+//! * `old_two_pass_qr` — what [`evoforecast_core::regress::evaluate`] does
+//!   with default options: materialize + Householder QR (`O(2·K·p²)` flops
+//!   on the K×(D+1) design).
+//! * `old_two_pass_ridge` — same two passes + materialization, but the
+//!   ridge normal-equations solve (the engine's previous hot path).
+//! * `fused_single_pass` / `fused_with_index` — the new kernel behind
+//!   `Engine::step`, which never materializes the design.
+//!
+//! Run: `cargo bench -p evoforecast-bench --bench micro_eval`
+//! The measured numbers behind the PR claim live in `BENCH_PR1.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use evoforecast_core::matchindex::MatchIndex;
+use evoforecast_core::regress;
+use evoforecast_core::rule::{Condition, Gene};
+use evoforecast_core::{parallel, MatchBitset};
+use evoforecast_linalg::regression::{NormalEqAccumulator, RegressionOptions};
+use evoforecast_tsdata::gen::venice::VeniceTide;
+use evoforecast_tsdata::window::{WindowSpec, WindowedDataset};
+use std::hint::black_box;
+
+/// Paper scale for Venice: D = 24 hourly taps, τ = 4 h ahead.
+const D: usize = 24;
+const TAU: usize = 4;
+/// 45k training windows, the size of the paper's 1980–1994 training split.
+const WINDOWS: usize = 45_000;
+
+fn series() -> Vec<f64> {
+    VeniceTide::default()
+        .generate(WINDOWS + D + TAU - 1, 9)
+        .into_values()
+}
+
+/// A broad evolved-style condition: bounded on most taps, wide enough to
+/// match the bulk of the training windows — the worst case for evaluation
+/// cost and the common case early in a run.
+fn broad_condition() -> Condition {
+    let genes = (0..D)
+        .map(|i| {
+            if i % 4 == 3 {
+                Gene::Wildcard
+            } else {
+                Gene::bounded(-60.0 + (i % 5) as f64, 160.0 - (i % 7) as f64)
+            }
+        })
+        .collect();
+    Condition::new(genes)
+}
+
+fn fused(
+    cond: &Condition,
+    ds: &WindowedDataset<'_>,
+    opts: RegressionOptions,
+) -> (
+    MatchBitset,
+    NormalEqAccumulator,
+    Option<regress::FittedPart>,
+) {
+    let (bits, acc) = parallel::match_and_accumulate(cond, ds, opts, usize::MAX);
+    let model = regress::fit_from_accumulator(&acc, &bits, ds, opts);
+    (bits, acc, model)
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let values = series();
+    let ds = WindowSpec::new(D, TAU).unwrap().dataset(&values).unwrap();
+    assert_eq!(ds.len(), WINDOWS);
+    let cond = broad_condition();
+    let index = MatchIndex::build(&ds);
+    let opts = RegressionOptions::fast();
+
+    // Sanity: the comparison is apples-to-apples — same matched set, same
+    // coefficients (within tolerance) from every path.
+    let reference = regress::evaluate(&cond, &ds, opts);
+    let (bits, acc, model) = fused(&cond, &ds, opts);
+    assert_eq!(bits.to_indices(), reference.matched);
+    assert!(
+        acc.count() > WINDOWS / 4,
+        "broad condition should match broadly"
+    );
+    let (m, r) = (model.unwrap(), reference.model.unwrap());
+    assert!((m.error - r.error).abs() < 1e-9);
+
+    let mut g = c.benchmark_group(format!("eval_venice_{}_windows", acc.count()));
+    g.sample_size(10);
+
+    g.bench_function("old_two_pass_qr", |b| {
+        b.iter(|| {
+            black_box(regress::evaluate(
+                black_box(&cond),
+                &ds,
+                RegressionOptions::default(),
+            ))
+        })
+    });
+    g.bench_function("old_two_pass_ridge", |b| {
+        b.iter(|| black_box(regress::evaluate(black_box(&cond), &ds, opts)))
+    });
+    g.bench_function("fused_single_pass", |b| {
+        b.iter(|| black_box(fused(black_box(&cond), &ds, opts)))
+    });
+    g.bench_function("fused_with_index", |b| {
+        b.iter(|| {
+            let (bits, acc) = index.match_accumulate_with_parallel_fallback(
+                black_box(&cond),
+                &ds,
+                opts,
+                usize::MAX,
+            );
+            black_box(regress::fit_from_accumulator(&acc, &bits, &ds, opts))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

@@ -35,7 +35,11 @@ fn main() {
             scale.population,
             scale.generations,
             scale.executions,
-            if scale.full { " [FULL]" } else { " — EVOFORECAST_FULL=1 for paper scale" }
+            if scale.full {
+                " [FULL]"
+            } else {
+                " — EVOFORECAST_FULL=1 for paper scale"
+            }
         ),
     );
 
@@ -83,10 +87,16 @@ fn main() {
         let (actual, rs_preds, nn_preds) = paired_predictions(&predictor, &mlp, valid, spec);
         let verdict = match bootstrap_rmse_diff(&actual, &rs_preds, &nn_preds, 400, 0.05, 99) {
             Ok(c) if c.significant() && c.rmse_diff < 0.0 => {
-                format!("RS wins, significant (ΔRMSE 95% CI [{:.2}, {:.2}])", c.ci_low, c.ci_high)
+                format!(
+                    "RS wins, significant (ΔRMSE 95% CI [{:.2}, {:.2}])",
+                    c.ci_low, c.ci_high
+                )
             }
             Ok(c) if c.significant() => {
-                format!("NN wins, significant (ΔRMSE 95% CI [{:.2}, {:.2}])", c.ci_low, c.ci_high)
+                format!(
+                    "NN wins, significant (ΔRMSE 95% CI [{:.2}, {:.2}])",
+                    c.ci_low, c.ci_high
+                )
             }
             Ok(c) => format!(
                 "statistical tie (ΔRMSE 95% CI [{:.2}, {:.2}])",

@@ -9,7 +9,9 @@
 
 use evoforecast_bench::output::{banner, comparison_row, dump_reports};
 use evoforecast_bench::paper::TABLE2_MACKEY;
-use evoforecast_bench::{evaluate_abstaining, evaluate_forecaster, train_rule_system, RuleSystemSetup, Scale};
+use evoforecast_bench::{
+    evaluate_abstaining, evaluate_forecaster, train_rule_system, RuleSystemSetup, Scale,
+};
 use evoforecast_metrics::EvaluationReport;
 use evoforecast_neural::mran::{Mran, MranConfig};
 use evoforecast_neural::ran::{Ran, RanConfig};
@@ -85,14 +87,20 @@ fn main() {
                 m.train(&xs, &ys).expect("MRAN trains");
             }
             let pairs = evaluate_forecaster(&m, test, spec);
-            (EvaluationReport::from_paired("mran", horizon, &pairs), m.len())
+            (
+                EvaluationReport::from_paired("mran", horizon, &pairs),
+                m.len(),
+            )
         } else {
             let mut r = Ran::new(D, ran_cfg).expect("valid RAN config");
             for _ in 0..PASSES {
                 r.train(&xs, &ys).expect("RAN trains");
             }
             let pairs = evaluate_forecaster(&r, test, spec);
-            (EvaluationReport::from_paired("ran", horizon, &pairs), r.len())
+            (
+                EvaluationReport::from_paired("ran", horizon, &pairs),
+                r.len(),
+            )
         };
 
         comparison_row(

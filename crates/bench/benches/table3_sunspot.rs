@@ -11,7 +11,9 @@
 
 use evoforecast_bench::output::{banner, dump_reports, fmt_opt};
 use evoforecast_bench::paper::TABLE3_SUNSPOT;
-use evoforecast_bench::{evaluate_abstaining, evaluate_forecaster, train_rule_system, RuleSystemSetup, Scale};
+use evoforecast_bench::{
+    evaluate_abstaining, evaluate_forecaster, train_rule_system, RuleSystemSetup, Scale,
+};
 use evoforecast_metrics::EvaluationReport;
 use evoforecast_neural::elman::{Elman, ElmanConfig};
 use evoforecast_neural::mlp::{Mlp, MlpConfig};

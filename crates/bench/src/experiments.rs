@@ -45,7 +45,9 @@ pub fn train_rule_system(
         .with_max_executions(setup.executions)
         .with_coverage_target(0.98);
     let trainer = EnsembleTrainer::new(config).expect("harness config must validate");
-    trainer.run(train).expect("training series fits the window spec")
+    trainer
+        .run(train)
+        .expect("training series fits the window spec")
 }
 
 /// Evaluate an abstaining predictor over a validation slice, producing the
@@ -171,7 +173,8 @@ pub fn train_mlp_forecaster(
         },
     )
     .expect("MLP config is valid");
-    mlp.train(&xs, &ys).expect("MLP training on scaled data converges");
+    mlp.train(&xs, &ys)
+        .expect("MLP training on scaled data converges");
     ScaledForecaster::new(mlp, scaler)
 }
 
@@ -215,7 +218,11 @@ mod tests {
         let pairs = evaluate_forecaster(&mlp, valid, spec);
         assert_eq!(pairs.coverage_percentage(), Some(100.0));
         // NMSE < 1 means better than predicting the mean.
-        assert!(pairs.nmse().unwrap() < 1.0, "NMSE {}", pairs.nmse().unwrap());
+        assert!(
+            pairs.nmse().unwrap() < 1.0,
+            "NMSE {}",
+            pairs.nmse().unwrap()
+        );
     }
 
     #[test]

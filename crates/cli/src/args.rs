@@ -60,9 +60,9 @@ impl Args {
     pub fn parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
         match self.get(key) {
             None => Ok(default),
-            Some(raw) => raw.parse().map_err(|_| {
-                CliError::Usage(format!("flag --{key} has unparsable value {raw:?}"))
-            }),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| CliError::Usage(format!("flag --{key} has unparsable value {raw:?}"))),
         }
     }
 
@@ -175,6 +175,8 @@ mod tests {
         assert!(CliError::Usage("x".into()).to_string().contains("usage"));
         let io: CliError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
-        assert!(CliError::Runtime("boom".into()).to_string().contains("boom"));
+        assert!(CliError::Runtime("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

@@ -279,8 +279,8 @@ pub fn experiment(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     )?;
     writeln!(out, "{}", result.report.summary_line())?;
     if let Some(out_path) = args.get("out") {
-        let json = serde_json::to_string_pretty(&result)
-            .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let json =
+            serde_json::to_string_pretty(&result).map_err(|e| CliError::Runtime(e.to_string()))?;
         std::fs::write(out_path, json)?;
         writeln!(out, "wrote {out_path}")?;
     }

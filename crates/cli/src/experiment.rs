@@ -129,8 +129,7 @@ impl ExperimentSpec {
     /// # Errors
     /// [`CliError::Usage`] on malformed JSON.
     pub fn from_json(text: &str) -> Result<ExperimentSpec, CliError> {
-        serde_json::from_str(text)
-            .map_err(|e| CliError::Usage(format!("bad experiment spec: {e}")))
+        serde_json::from_str(text).map_err(|e| CliError::Usage(format!("bad experiment spec: {e}")))
     }
 
     fn materialize_series(&self) -> Result<TimeSeries, CliError> {
@@ -230,7 +229,11 @@ fn evaluate(
     for (w, t) in ds.iter() {
         pairs.record(t, predictor.predict(w));
     }
-    Ok(EvaluationReport::from_paired("rule-system", horizon, &pairs))
+    Ok(EvaluationReport::from_paired(
+        "rule-system",
+        horizon,
+        &pairs,
+    ))
 }
 
 #[cfg(test)]

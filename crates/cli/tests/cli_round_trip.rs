@@ -29,18 +29,43 @@ fn full_workflow_on_noisy_sine() {
     let model_s = model.to_str().unwrap();
 
     let msg = run_ok(&[
-        "generate", "--series", "noisy-sine", "--n", "700", "--seed", "3", "--out", data_s,
+        "generate",
+        "--series",
+        "noisy-sine",
+        "--n",
+        "700",
+        "--seed",
+        "3",
+        "--out",
+        data_s,
     ]);
     assert!(msg.contains("700 points"));
 
     let msg = run_ok(&[
-        "train", "--data", data_s, "--window", "4", "--horizon", "1", "--population", "25",
-        "--generations", "1500", "--executions", "2", "--seed", "9", "--out", model_s,
+        "train",
+        "--data",
+        data_s,
+        "--window",
+        "4",
+        "--horizon",
+        "1",
+        "--population",
+        "25",
+        "--generations",
+        "1500",
+        "--executions",
+        "2",
+        "--seed",
+        "9",
+        "--out",
+        model_s,
     ]);
     assert!(msg.contains("trained"));
     assert!(model.exists());
 
-    let msg = run_ok(&["evaluate", "--model", model_s, "--data", data_s, "--from", "500"]);
+    let msg = run_ok(&[
+        "evaluate", "--model", model_s, "--data", data_s, "--from", "500",
+    ]);
     assert!(msg.contains("coverage"));
     assert!(msg.contains("evaluated"));
 
@@ -50,7 +75,9 @@ fn full_workflow_on_noisy_sine() {
         "unexpected predict output: {msg}"
     );
 
-    let msg = run_ok(&["analyze", "--model", model_s, "--data", data_s, "--bins", "20"]);
+    let msg = run_ok(&[
+        "analyze", "--model", model_s, "--data", data_s, "--bins", "20",
+    ]);
     assert!(msg.contains("rules:"));
     assert!(msg.contains("coverage"));
 
@@ -101,8 +128,15 @@ fn train_requires_flags_and_valid_data() {
 
     let err = run(
         &sv(&[
-            "train", "--data", "/definitely/missing.csv", "--window", "4", "--horizon", "1",
-            "--out", "/tmp/m.json",
+            "train",
+            "--data",
+            "/definitely/missing.csv",
+            "--window",
+            "4",
+            "--horizon",
+            "1",
+            "--out",
+            "/tmp/m.json",
         ]),
         &mut out,
     )
@@ -117,14 +151,31 @@ fn evaluate_validates_from_bound() {
     let model = dir.join("m.json");
     let data_s = data.to_str().unwrap();
     let model_s = model.to_str().unwrap();
-    run_ok(&["generate", "--series", "sine", "--n", "300", "--out", data_s]);
     run_ok(&[
-        "train", "--data", data_s, "--window", "3", "--horizon", "1", "--population", "15",
-        "--generations", "300", "--executions", "1", "--out", model_s,
+        "generate", "--series", "sine", "--n", "300", "--out", data_s,
+    ]);
+    run_ok(&[
+        "train",
+        "--data",
+        data_s,
+        "--window",
+        "3",
+        "--horizon",
+        "1",
+        "--population",
+        "15",
+        "--generations",
+        "300",
+        "--executions",
+        "1",
+        "--out",
+        model_s,
     ]);
     let mut out = Vec::new();
     let err = run(
-        &sv(&["evaluate", "--model", model_s, "--data", data_s, "--from", "300"]),
+        &sv(&[
+            "evaluate", "--model", model_s, "--data", data_s, "--from", "300",
+        ]),
         &mut out,
     )
     .unwrap_err();
@@ -136,12 +187,26 @@ fn evaluate_validates_from_bound() {
 fn all_generator_kinds_work() {
     let dir = temp_dir("all_gens");
     for kind in [
-        "venice", "mackey-glass", "sunspot", "sine", "noisy-sine", "ar2", "logistic", "henon",
+        "venice",
+        "mackey-glass",
+        "sunspot",
+        "sine",
+        "noisy-sine",
+        "ar2",
+        "logistic",
+        "henon",
         "lorenz",
     ] {
         let f = dir.join(format!("{kind}.csv"));
         let msg = run_ok(&[
-            "generate", "--series", kind, "--n", "120", "--seed", "1", "--out",
+            "generate",
+            "--series",
+            kind,
+            "--n",
+            "120",
+            "--seed",
+            "1",
+            "--out",
             f.to_str().unwrap(),
         ]);
         assert!(msg.contains("120 points"), "{kind}: {msg}");
@@ -157,12 +222,31 @@ fn freerun_iterates_or_stops_cleanly() {
     let model = dir.join("model.json");
     let data_s = data.to_str().unwrap();
     let model_s = model.to_str().unwrap();
-    run_ok(&["generate", "--series", "sine", "--n", "500", "--out", data_s]);
     run_ok(&[
-        "train", "--data", data_s, "--window", "4", "--horizon", "1", "--population", "25",
-        "--generations", "2000", "--executions", "2", "--seed", "4", "--out", model_s,
+        "generate", "--series", "sine", "--n", "500", "--out", data_s,
     ]);
-    let msg = run_ok(&["freerun", "--model", model_s, "--data", data_s, "--steps", "10"]);
+    run_ok(&[
+        "train",
+        "--data",
+        data_s,
+        "--window",
+        "4",
+        "--horizon",
+        "1",
+        "--population",
+        "25",
+        "--generations",
+        "2000",
+        "--executions",
+        "2",
+        "--seed",
+        "4",
+        "--out",
+        model_s,
+    ]);
+    let msg = run_ok(&[
+        "freerun", "--model", model_s, "--data", data_s, "--steps", "10",
+    ]);
     assert!(
         msg.contains("completed 10 steps") || msg.contains("abstained"),
         "unexpected freerun output: {msg}"
@@ -172,12 +256,27 @@ fn freerun_iterates_or_stops_cleanly() {
     let model2 = dir.join("model2.json");
     let model2_s = model2.to_str().unwrap();
     run_ok(&[
-        "train", "--data", data_s, "--window", "4", "--horizon", "3", "--population", "15",
-        "--generations", "300", "--executions", "1", "--out", model2_s,
+        "train",
+        "--data",
+        data_s,
+        "--window",
+        "4",
+        "--horizon",
+        "3",
+        "--population",
+        "15",
+        "--generations",
+        "300",
+        "--executions",
+        "1",
+        "--out",
+        model2_s,
     ]);
     let mut out = Vec::new();
     let err = run(
-        &sv(&["freerun", "--model", model2_s, "--data", data_s, "--steps", "5"]),
+        &sv(&[
+            "freerun", "--model", model2_s, "--data", data_s, "--steps", "5",
+        ]),
         &mut out,
     )
     .unwrap_err();
@@ -204,7 +303,10 @@ fn experiment_command_runs_committed_spec_shape() {
     .unwrap();
     let out_path = dir.join("result.json");
     let msg = run_ok(&[
-        "experiment", "--config", spec_path.to_str().unwrap(), "--out",
+        "experiment",
+        "--config",
+        spec_path.to_str().unwrap(),
+        "--out",
         out_path.to_str().unwrap(),
     ]);
     assert!(msg.contains("cli-test-exp"));
@@ -229,7 +331,9 @@ fn spectrum_reports_dominant_period() {
     let dir = temp_dir("spectrum");
     let data = dir.join("sine.csv");
     let data_s = data.to_str().unwrap();
-    run_ok(&["generate", "--series", "sine", "--n", "512", "--out", data_s]);
+    run_ok(&[
+        "generate", "--series", "sine", "--n", "512", "--out", data_s,
+    ]);
     let msg = run_ok(&["spectrum", "--data", data_s, "--top", "3"]);
     assert!(msg.contains("spectral lines"));
     // The generator's sine has period 25: the top line should be ~25.
@@ -237,7 +341,12 @@ fn spectrum_reports_dominant_period() {
         .lines()
         .find(|l| l.trim_start().starts_with('2'))
         .expect("a period row");
-    let period: f64 = first_row.split_whitespace().next().unwrap().parse().unwrap();
+    let period: f64 = first_row
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
     assert!((period - 25.0).abs() < 2.0, "dominant period {period}");
 
     let mut out = Vec::new();
@@ -253,10 +362,33 @@ fn strided_training_via_spacing_flag() {
     let model = dir.join("mg.json");
     let data_s = data.to_str().unwrap();
     let model_s = model.to_str().unwrap();
-    run_ok(&["generate", "--series", "mackey-glass", "--n", "600", "--out", data_s]);
+    run_ok(&[
+        "generate",
+        "--series",
+        "mackey-glass",
+        "--n",
+        "600",
+        "--out",
+        data_s,
+    ]);
     let msg = run_ok(&[
-        "train", "--data", data_s, "--window", "4", "--horizon", "6", "--spacing", "6",
-        "--population", "20", "--generations", "800", "--executions", "1", "--out", model_s,
+        "train",
+        "--data",
+        data_s,
+        "--window",
+        "4",
+        "--horizon",
+        "6",
+        "--spacing",
+        "6",
+        "--population",
+        "20",
+        "--generations",
+        "800",
+        "--executions",
+        "1",
+        "--out",
+        model_s,
     ]);
     assert!(msg.contains("trained"));
     let msg = run_ok(&["predict", "--model", model_s, "--data", data_s]);

@@ -1,0 +1,256 @@
+//! Compact match sets.
+//!
+//! A rule's matched windows were stored as `Vec<usize>` — 8 bytes per match,
+//! `O(K)` to intersect or union. The engine's coverage bookkeeping and the
+//! ensemble's stop condition only ever ask set questions (union, cardinality,
+//! membership), so a u64 bitset answers them in `O(N/64)` words: one bit per
+//! training window, 64 windows per word.
+
+/// A fixed-length set of window indices, one bit per window.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchBitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl MatchBitset {
+    /// Empty set over a universe of `len` windows.
+    pub fn new(len: usize) -> MatchBitset {
+        MatchBitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build from explicit member indices.
+    ///
+    /// # Panics
+    /// Panics when an index is out of bounds.
+    pub fn from_indices(len: usize, indices: &[usize]) -> MatchBitset {
+        let mut set = MatchBitset::new(len);
+        for &i in indices {
+            set.set(i);
+        }
+        set
+    }
+
+    /// Universe size (number of windows, not members).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the universe itself is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert window `i`.
+    ///
+    /// # Panics
+    /// Panics when `i` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of members — `O(N/64)` popcounts.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when every window in the universe is a member.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// Union `other` into `self` — `O(N/64)`.
+    ///
+    /// # Panics
+    /// Panics when the universes differ.
+    pub fn union_with(&mut self, other: &MatchBitset) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// True when every member of `self` is a member of `other` — `O(N/64)`.
+    ///
+    /// # Panics
+    /// Panics when the universes differ.
+    pub fn is_subset_of(&self, other: &MatchBitset) -> bool {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(s, o)| s & !o == 0)
+    }
+
+    /// Iterate the members in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let base = wi * 64;
+            std::iter::successors((word != 0).then_some(word), |w| {
+                let next = w & (w - 1); // clear lowest set bit
+                (next != 0).then_some(next)
+            })
+            .map(move |w| base + w.trailing_zeros() as usize)
+        })
+    }
+
+    /// Materialize the members as a sorted index list.
+    pub fn to_indices(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// For every window *not yet* a member, evaluate `pred` and insert on
+    /// `true`. Windows already present are never re-tested — this is the
+    /// predictor-side coverage sweep, where each window only needs one
+    /// matching rule across the whole rule set.
+    pub fn set_where_unset(&mut self, mut pred: impl FnMut(usize) -> bool) {
+        for wi in 0..self.words.len() {
+            let base = wi * 64;
+            let valid = if base + 64 <= self.len {
+                u64::MAX
+            } else {
+                (1u64 << (self.len - base)) - 1
+            };
+            let mut zeros = !self.words[wi] & valid;
+            while zeros != 0 {
+                let bit = zeros.trailing_zeros() as usize;
+                if pred(base + bit) {
+                    self.words[wi] |= 1u64 << bit;
+                }
+                zeros &= zeros - 1;
+            }
+        }
+    }
+
+    /// Overwrite the words starting at word index `word_offset` with `words`
+    /// (used to stitch per-chunk results; chunk boundaries are word-aligned).
+    ///
+    /// # Panics
+    /// Panics when the span exceeds the universe.
+    pub(crate) fn splice_words(&mut self, word_offset: usize, words: &[u64]) {
+        self.words[word_offset..word_offset + words.len()].copy_from_slice(words);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_basic_membership() {
+        let mut s = MatchBitset::new(130);
+        assert_eq!(s.len(), 130);
+        assert!(!s.is_empty());
+        assert_eq!(s.count_ones(), 0);
+        assert!(!s.contains(0));
+        s.set(0);
+        s.set(64);
+        s.set(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(63) && !s.contains(128));
+        assert_eq!(s.count_ones(), 3);
+        assert_eq!(s.to_indices(), vec![0, 64, 129]);
+        assert!(MatchBitset::new(0).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = MatchBitset::from_indices(10, &[9]);
+        assert!(!s.contains(10));
+        assert!(!s.contains(usize::MAX));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn set_out_of_range_panics() {
+        MatchBitset::new(10).set(10);
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = MatchBitset::from_indices(200, &[1, 65, 150]);
+        let b = MatchBitset::from_indices(200, &[1, 70]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_indices(), vec![1, 65, 70, 150]);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+        assert!(MatchBitset::new(200).is_subset_of(&a));
+    }
+
+    #[test]
+    fn all_set_detects_full_universe() {
+        let mut s = MatchBitset::new(70);
+        assert!(!s.all_set());
+        for i in 0..70 {
+            s.set(i);
+        }
+        assert!(s.all_set());
+        assert_eq!(s.count_ones(), 70);
+    }
+
+    #[test]
+    fn set_where_unset_skips_members() {
+        let mut s = MatchBitset::from_indices(100, &[3, 64]);
+        let mut tested = Vec::new();
+        s.set_where_unset(|i| {
+            tested.push(i);
+            i % 10 == 0
+        });
+        assert!(!tested.contains(&3), "member 3 must not be re-tested");
+        assert!(!tested.contains(&64), "member 64 must not be re-tested");
+        assert_eq!(tested.len(), 98);
+        assert_eq!(
+            s.to_indices(),
+            vec![0, 3, 10, 20, 30, 40, 50, 60, 64, 70, 80, 90]
+        );
+    }
+
+    #[test]
+    fn set_where_unset_respects_partial_last_word() {
+        let mut s = MatchBitset::new(5);
+        let mut tested = Vec::new();
+        s.set_where_unset(|i| {
+            tested.push(i);
+            true
+        });
+        assert_eq!(tested, vec![0, 1, 2, 3, 4]);
+        assert!(s.all_set());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn agrees_with_index_vector_model(
+            len in 1usize..300,
+            picks in proptest::collection::vec(0usize..300, 0..40),
+        ) {
+            let members: Vec<usize> = {
+                let mut m: Vec<usize> = picks.iter().map(|&p| p % len).collect();
+                m.sort_unstable();
+                m.dedup();
+                m
+            };
+            let s = MatchBitset::from_indices(len, &members);
+            prop_assert_eq!(s.count_ones(), members.len());
+            prop_assert_eq!(s.to_indices(), members.clone());
+            for i in 0..len {
+                prop_assert_eq!(s.contains(i), members.binary_search(&i).is_ok());
+            }
+            prop_assert_eq!(s.all_set(), members.len() == len);
+        }
+    }
+}

@@ -273,7 +273,9 @@ impl EnsembleConfig {
     /// outside `[0, 1]`, plus any engine-config problem.
     pub fn validate(&self) -> Result<(), EvoError> {
         if self.max_executions == 0 {
-            return Err(EvoError::InvalidConfig("max_executions must be >= 1".into()));
+            return Err(EvoError::InvalidConfig(
+                "max_executions must be >= 1".into(),
+            ));
         }
         if !(0.0..=1.0).contains(&self.coverage_target) {
             return Err(EvoError::InvalidConfig(format!(

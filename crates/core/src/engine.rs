@@ -7,13 +7,14 @@
 //! only if strictly fitter. The population after the final generation *is*
 //! the learned rule set (Michigan approach).
 
+use crate::bitset::MatchBitset;
 use crate::config::EngineConfig;
 use crate::dataset::ExampleSet;
 use crate::error::EvoError;
 use crate::fitness::FitnessParams;
 use crate::matchindex::MatchIndex;
 use crate::population::{Individual, Population};
-use crate::regress::{fit_part, Evaluation};
+use crate::regress::{fit_from_accumulator, rule_from_parts};
 use crate::rule::{Condition, Rule};
 use crate::{crossover, init, mutation, parallel, replacement, selection};
 use evoforecast_linalg::regression::RegressionOptions;
@@ -38,8 +39,9 @@ pub struct StopConditions {
     /// Hard generation cap (always enforced).
     pub max_generations: usize,
     /// Stop once training coverage (viable rules) reaches this fraction;
-    /// checked every [`StopConditions::check_every`] generations because the
-    /// coverage sweep costs `O(n · population)`.
+    /// checked every [`StopConditions::check_every`] generations. The check
+    /// itself is `O(1)` (incremental coverage counters), the cadence just
+    /// bounds how far past the target a run can drift.
     pub target_coverage: Option<f64>,
     /// Stop after this many consecutive generations without a replacement —
     /// the steady-state loop has stagnated.
@@ -93,6 +95,15 @@ pub struct GenericEngine<E: ExampleSet> {
     data: E,
     index: Option<MatchIndex>,
     population: Population,
+    /// `match_sets[k]` = training windows matched by individual `k`'s
+    /// condition, kept in lockstep with the population by [`Self::step`].
+    match_sets: Vec<MatchBitset>,
+    /// Per-window count of *viable* rules matching it (the coverage
+    /// denominator is `data.len()`). Updated incrementally on replacement.
+    viable_counts: Vec<u32>,
+    /// Number of windows with `viable_counts > 0` — the coverage numerator,
+    /// maintained so [`Self::training_coverage`] is `O(1)`.
+    covered: usize,
     rng: ChaCha8Rng,
     stats: EngineStats,
 }
@@ -126,25 +137,37 @@ impl<E: ExampleSet> GenericEngine<E> {
 
         let conditions = init::initialize(config.init, &data, config.population_size, &mut rng);
         let mut stats = EngineStats::default();
-        let individuals = conditions
-            .into_iter()
-            .map(|c| {
-                stats.evaluations += 1;
-                evaluate_condition(
-                    c,
-                    &data,
-                    index.as_ref(),
-                    &config.fitness,
-                    config.parallel_threshold,
-                )
-            })
-            .collect();
+        let mut individuals = Vec::with_capacity(conditions.len());
+        let mut match_sets = Vec::with_capacity(conditions.len());
+        for c in conditions {
+            stats.evaluations += 1;
+            let (ind, bits) = evaluate_condition(
+                c,
+                &data,
+                index.as_ref(),
+                &config.fitness,
+                config.parallel_threshold,
+            );
+            individuals.push(ind);
+            match_sets.push(bits);
+        }
+
+        let mut viable_counts = vec![0u32; data.len()];
+        let mut covered = 0usize;
+        for (ind, bits) in individuals.iter().zip(&match_sets) {
+            if !config.fitness.is_unfit(ind.fitness) {
+                add_coverage(&mut viable_counts, &mut covered, bits);
+            }
+        }
 
         Ok(GenericEngine {
             config,
             data,
             index,
             population: Population::new(individuals),
+            match_sets,
+            viable_counts,
+            covered,
             rng,
             stats,
         })
@@ -153,8 +176,11 @@ impl<E: ExampleSet> GenericEngine<E> {
     /// Run one steady-state generation. Returns whether the offspring
     /// entered the population.
     pub fn step(&mut self) -> bool {
-        let (ia, ib) =
-            selection::select_parents(&self.population, self.config.tournament_rounds, &mut self.rng);
+        let (ia, ib) = selection::select_parents(
+            &self.population,
+            self.config.tournament_rounds,
+            &mut self.rng,
+        );
         let mut child = crossover::uniform(
             &self.population.get(ia).rule.condition,
             &self.population.get(ib).rule.condition,
@@ -166,7 +192,7 @@ impl<E: ExampleSet> GenericEngine<E> {
             self.config.value_range,
             &mut self.rng,
         );
-        let offspring = evaluate_condition(
+        let (offspring, bits) = evaluate_condition(
             child,
             &self.data,
             self.index.as_ref(),
@@ -181,7 +207,26 @@ impl<E: ExampleSet> GenericEngine<E> {
             offspring.rule.prediction,
             &mut self.rng,
         );
+        let victim_viable = !self
+            .config
+            .fitness
+            .is_unfit(self.population.get(victim).fitness);
+        let offspring_viable = !self.config.fitness.is_unfit(offspring.fitness);
         let replaced = replacement::try_replace(&mut self.population, victim, offspring);
+
+        if replaced {
+            let old_bits = std::mem::replace(&mut self.match_sets[victim], bits);
+            if victim_viable {
+                remove_coverage(&mut self.viable_counts, &mut self.covered, &old_bits);
+            }
+            if offspring_viable {
+                add_coverage(
+                    &mut self.viable_counts,
+                    &mut self.covered,
+                    &self.match_sets[victim],
+                );
+            }
+        }
 
         self.stats.generations += 1;
         if replaced {
@@ -264,41 +309,100 @@ impl<E: ExampleSet> GenericEngine<E> {
 
     /// Fraction of training examples matched by at least one *viable* rule
     /// (the coverage measure the ensemble stop-condition uses).
+    ///
+    /// `O(1)`: the engine maintains per-window viable-match counts
+    /// incrementally on every crowding replacement, so this is a single
+    /// division, not a population sweep.
     pub fn training_coverage(&self) -> f64 {
-        let rules = self.population.individuals();
         let n = self.data.len();
         if n == 0 {
+            return 0.0;
+        }
+        self.covered as f64 / n as f64
+    }
+
+    /// Reference implementation of [`Self::training_coverage`]: a full
+    /// `O(n · population)` sweep re-testing every window against every viable
+    /// condition. The viable-rule prefilter is hoisted out of the per-window
+    /// loop so unfit individuals cost nothing per window. Kept public for
+    /// tests and diagnostics; the incremental counter must always agree.
+    pub fn training_coverage_scan(&self) -> f64 {
+        let n = self.data.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let viable: Vec<&Condition> = self
+            .population
+            .individuals()
+            .iter()
+            .filter(|ind| !self.config.fitness.is_unfit(ind.fitness))
+            .map(|ind| &ind.rule.condition)
+            .collect();
+        if viable.is_empty() {
             return 0.0;
         }
         let covered = (0..n)
             .filter(|&i| {
                 let w = self.data.features(i);
-                rules.iter().any(|ind| {
-                    !self.config.fitness.is_unfit(ind.fitness) && ind.rule.condition.matches(w)
-                })
+                viable.iter().any(|c| c.matches(w))
             })
             .count();
         covered as f64 / n as f64
     }
+
+    /// The training windows matched by individual `k`'s condition.
+    ///
+    /// # Panics
+    /// When `k` is out of population range.
+    pub fn match_set(&self, k: usize) -> &MatchBitset {
+        &self.match_sets[k]
+    }
 }
 
-/// Evaluate a condition into a fitness-scored individual: parallel matching,
-/// ridge-stabilized regression, the paper's fitness.
+/// Count window `i` as covered by one more viable rule.
+fn add_coverage(counts: &mut [u32], covered: &mut usize, bits: &MatchBitset) {
+    for i in bits.iter_ones() {
+        counts[i] += 1;
+        if counts[i] == 1 {
+            *covered += 1;
+        }
+    }
+}
+
+/// Withdraw a viable rule's matches from the per-window counts.
+fn remove_coverage(counts: &mut [u32], covered: &mut usize, bits: &MatchBitset) {
+    for i in bits.iter_ones() {
+        counts[i] -= 1;
+        if counts[i] == 0 {
+            *covered -= 1;
+        }
+    }
+}
+
+/// Evaluate a condition into a fitness-scored individual with the fused
+/// single-pass kernel: one sweep over the data matches windows *and*
+/// accumulates the regression normal equations (Gram matrix + Xᵀy), the
+/// system is solved by Cholesky (ridge-stabilized, LU fallback), and only the
+/// matched rows are revisited for the max-residual `e_R`. Also returns the
+/// matched set as a bitset so the engine can maintain coverage incrementally.
 fn evaluate_condition<E: ExampleSet>(
     condition: Condition,
     data: &E,
     index: Option<&MatchIndex>,
     fitness: &FitnessParams,
     parallel_threshold: usize,
-) -> Individual {
-    let matched = match index {
-        Some(idx) => idx.match_indices_with_parallel_fallback(&condition, data, parallel_threshold),
-        None => parallel::match_indices(&condition, data, parallel_threshold),
+) -> (Individual, MatchBitset) {
+    let opts = RegressionOptions::fast();
+    let (bits, acc) = match index {
+        Some(idx) => {
+            idx.match_accumulate_with_parallel_fallback(&condition, data, opts, parallel_threshold)
+        }
+        None => parallel::match_and_accumulate(&condition, data, opts, parallel_threshold),
     };
-    let model = fit_part(&matched, data, RegressionOptions::fast());
-    let rule = Evaluation { matched, model }.into_rule(condition);
+    let model = fit_from_accumulator(&acc, &bits, data, opts);
+    let rule = rule_from_parts(condition, model, acc.count());
     let fit = fitness.fitness(rule.matched, rule.error);
-    Individual { rule, fitness: fit }
+    (Individual { rule, fitness: fit }, bits)
 }
 
 #[cfg(test)]
@@ -579,6 +683,54 @@ mod tests {
                 let cov = engine.training_coverage();
                 prop_assert!((0.0..=1.0).contains(&cov));
             }
+        }
+    }
+
+    #[test]
+    fn incremental_coverage_always_equals_full_scan() {
+        // The O(1) counter must track the reference sweep exactly through
+        // hundreds of crowding replacements.
+        let series = noisy_sine(500, 25.0, 1.0, 0.1, 47);
+        let mut e = engine_on(series.values(), 0, 47);
+        assert_eq!(
+            e.training_coverage().to_bits(),
+            e.training_coverage_scan().to_bits(),
+            "coverage disagrees right after init"
+        );
+        for g in 0..600 {
+            e.step();
+            if g % 25 == 0 {
+                assert_eq!(
+                    e.training_coverage().to_bits(),
+                    e.training_coverage_scan().to_bits(),
+                    "coverage drifted at generation {g}"
+                );
+            }
+        }
+        assert_eq!(
+            e.training_coverage().to_bits(),
+            e.training_coverage_scan().to_bits()
+        );
+        assert!(
+            e.stats().replacements > 0,
+            "test never exercised the update"
+        );
+    }
+
+    #[test]
+    fn match_sets_stay_in_lockstep_with_population() {
+        let series = noisy_sine(400, 25.0, 1.0, 0.08, 53);
+        let mut e = engine_on(series.values(), 0, 53);
+        for _ in 0..300 {
+            e.step();
+        }
+        for k in 0..e.population().len() {
+            let ind = e.population().get(k);
+            let bits = e.match_set(k);
+            let expected =
+                parallel::match_bitset(&ind.rule.condition, &e.data, e.config().parallel_threshold);
+            assert_eq!(bits, &expected, "stale match set for individual {k}");
+            assert_eq!(bits.count_ones(), ind.rule.matched);
         }
     }
 

@@ -11,7 +11,9 @@
 //! early-stopping decision (and therefore the result) does not depend on the
 //! machine's core count.
 
+use crate::bitset::MatchBitset;
 use crate::config::EnsembleConfig;
+use crate::dataset::ExampleSet;
 use crate::engine::Engine;
 use crate::error::EvoError;
 use crate::predict::RuleSetPredictor;
@@ -121,11 +123,23 @@ impl EnsembleTrainer {
         let mut predictor = RuleSetPredictor::new(Vec::new());
         let mut executions = 0usize;
         let mut coverage = 0.0;
+        // Coverage union maintained incrementally: after each wave only the
+        // newly merged rules are matched, and only against still-uncovered
+        // windows. Identical value to `predictor.coverage(&data)` (same
+        // union), much cheaper once early waves cover most of the space.
+        let n = data.len();
+        let mut covered_bits = MatchBitset::new(n);
+        let mut folded_rules = 0usize;
 
         while executions < self.config.max_executions {
             let wave = WAVE_SIZE.min(self.config.max_executions - executions);
             let seeds: Vec<u64> = (0..wave)
-                .map(|k| self.config.engine.seed.wrapping_add((executions + k) as u64))
+                .map(|k| {
+                    self.config
+                        .engine
+                        .seed
+                        .wrapping_add((executions + k) as u64)
+                })
                 .collect();
 
             let rule_sets: Vec<Result<Vec<Rule>, EvoError>> = if self.config.parallel_runs {
@@ -156,7 +170,18 @@ impl EnsembleTrainer {
             }
             executions += wave;
 
-            coverage = predictor.coverage(&data);
+            for r in &predictor.rules()[folded_rules..] {
+                if covered_bits.all_set() {
+                    break;
+                }
+                covered_bits.set_where_unset(|i| r.condition.matches(data.features(i)));
+            }
+            folded_rules = predictor.len();
+            coverage = if n == 0 {
+                0.0
+            } else {
+                covered_bits.count_ones() as f64 / n as f64
+            };
             if coverage >= self.config.coverage_target {
                 return Ok((
                     predictor,
@@ -293,7 +318,10 @@ mod tests {
         let (rules_1, cov_1) = run_with(1);
         let (rules_3, cov_3) = run_with(3);
         assert!(rules_3 >= rules_1);
-        assert!(cov_3 >= cov_1 - 1e-12, "coverage shrank: {cov_1} -> {cov_3}");
+        assert!(
+            cov_3 >= cov_1 - 1e-12,
+            "coverage shrank: {cov_1} -> {cov_3}"
+        );
     }
 
     #[test]
@@ -324,6 +352,24 @@ mod tests {
         let (tx, rx) = crossbeam::channel::unbounded::<ExecutionEvent>();
         drop(rx);
         assert!(trainer.run_with_events(series.values(), tx).is_ok());
+    }
+
+    #[test]
+    fn reported_coverage_equals_predictor_coverage() {
+        // The incremental bitset union must equal a from-scratch coverage
+        // sweep over the final merged predictor, bit for bit.
+        let series = noisy_sine(300, 20.0, 1.0, 0.05, 12);
+        let cfg = quick_config(series.values());
+        let trainer = EnsembleTrainer::new(cfg).unwrap();
+        let (predictor, report) = trainer.run(series.values()).unwrap();
+        let ds = WindowSpec::new(3, 1)
+            .unwrap()
+            .dataset(series.values())
+            .unwrap();
+        assert_eq!(
+            report.training_coverage.to_bits(),
+            predictor.coverage(&ds).to_bits()
+        );
     }
 
     #[test]

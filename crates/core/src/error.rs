@@ -62,7 +62,9 @@ mod tests {
         assert!(EvoError::InvalidConfig("pop=0".into())
             .to_string()
             .contains("pop=0"));
-        assert!(EvoError::EmptyInitialization.to_string().contains("no viable"));
+        assert!(EvoError::EmptyInitialization
+            .to_string()
+            .contains("no viable"));
         let d: EvoError = DataError::EmptySeries.into();
         assert!(d.to_string().contains("data error"));
         let l: EvoError = LinalgError::Singular.into();

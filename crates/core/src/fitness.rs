@@ -29,10 +29,7 @@ pub struct FitnessParams {
 impl FitnessParams {
     /// Construct with an explicit `EMAX`; `f_min` defaults to `-1e12`.
     pub fn new(emax: f64) -> FitnessParams {
-        FitnessParams {
-            emax,
-            f_min: -1e12,
-        }
+        FitnessParams { emax, f_min: -1e12 }
     }
 
     /// `EMAX` as a fraction of the training-target range — the natural way

@@ -12,9 +12,9 @@
 //! the population keeps its configured size. A pure-random initializer is
 //! also provided for ablation A2.
 
+use crate::dataset::ExampleSet;
 use crate::mutation::random_interval;
 use crate::rule::{Condition, Gene};
-use crate::dataset::ExampleSet;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -120,7 +120,9 @@ pub fn random_population<E: ExampleSet, R: Rng>(
     assert!(population_size > 0, "population_size must be >= 1");
     let d = data.feature_len();
     let range = value_range_of(data);
-    (0..population_size).map(|_| random(d, range, rng)).collect()
+    (0..population_size)
+        .map(|_| random(d, range, rng))
+        .collect()
 }
 
 /// Wildcard probability of [`random_population`] genes.
@@ -179,7 +181,11 @@ mod tests {
         // each window's target lives in some bin, and that bin's rule matches
         // the window by construction.
         let covered = (0..ds.len())
-            .filter(|&i| conds.iter().any(|c| c.matches(ExampleSet::features(&ds, i))))
+            .filter(|&i| {
+                conds
+                    .iter()
+                    .any(|c| c.matches(ExampleSet::features(&ds, i)))
+            })
             .count();
         assert_eq!(covered, ds.len(), "binned init must cover all of training");
     }
@@ -209,7 +215,9 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(4);
         let conds = binned(&ds, 8, &mut rng);
         assert_eq!(conds.len(), 8);
-        assert!(conds.iter().all(|c| c.genes().iter().all(|g| g.is_well_formed())));
+        assert!(conds
+            .iter()
+            .all(|c| c.genes().iter().all(|g| g.is_well_formed())));
     }
 
     #[test]

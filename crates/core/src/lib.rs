@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod bitset;
 pub mod config;
 pub mod crossover;
 pub mod dataset;
@@ -62,6 +63,7 @@ pub mod replacement;
 pub mod rule;
 pub mod selection;
 
+pub use bitset::MatchBitset;
 pub use config::{EngineConfig, EnsembleConfig, MutationConfig};
 pub use dataset::{ExampleSet, TabularExamples};
 pub use engine::{Engine, GenericEngine};

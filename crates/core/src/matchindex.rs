@@ -18,8 +18,10 @@
 //! keeps the worst case unchanged. Results are always sorted ascending and
 //! bit-identical to the scan — the tests pin that.
 
+use crate::bitset::MatchBitset;
 use crate::dataset::ExampleSet;
 use crate::rule::{Condition, Gene};
+use evoforecast_linalg::regression::{NormalEqAccumulator, RegressionOptions};
 
 /// Fall back to a linear scan when the most selective gene still admits
 /// more than this fraction of the windows.
@@ -45,9 +47,8 @@ impl MatchIndex {
         let d = data.feature_len();
         let mut projections = Vec::with_capacity(d);
         for p in 0..d {
-            let mut column: Vec<(f64, u32)> = (0..n)
-                .map(|i| (data.features(i)[p], i as u32))
-                .collect();
+            let mut column: Vec<(f64, u32)> =
+                (0..n).map(|i| (data.features(i)[p], i as u32)).collect();
             column.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             projections.push(column);
         }
@@ -153,6 +154,38 @@ impl MatchIndex {
             crate::parallel::match_indices(condition, data, parallel_threshold)
         }
     }
+
+    /// Fused-path twin of
+    /// [`MatchIndex::match_indices_with_parallel_fallback`]: emit the match
+    /// set as a bitset *and* the accumulated normal equations. Selective
+    /// conditions go through the index (`O(D log N + K·D)` matching, then
+    /// `O(K·p²)` accumulation over just the `K` hits); broad ones fall back
+    /// to the chunked (possibly parallel) fused scan. Both routes follow the
+    /// same chunk/merge discipline, so the result is bit-identical either
+    /// way.
+    pub fn match_accumulate_with_parallel_fallback<E: ExampleSet>(
+        &self,
+        condition: &Condition,
+        data: &E,
+        opts: RegressionOptions,
+        parallel_threshold: usize,
+    ) -> (MatchBitset, NormalEqAccumulator) {
+        let mut best_count = usize::MAX;
+        let mut found_bounded = false;
+        for (p, gene) in condition.genes().iter().enumerate() {
+            if let Gene::Bounded { lo, hi } = *gene {
+                found_bounded = true;
+                let (start, end) = self.range_of(p, lo, hi);
+                best_count = best_count.min(end - start);
+            }
+        }
+        if found_bounded && (best_count as f64) < SCAN_FRACTION * self.examples as f64 {
+            let indices = self.match_indices(condition, data);
+            crate::parallel::accumulate_sorted_indices(&indices, data, opts)
+        } else {
+            crate::parallel::match_and_accumulate(condition, data, opts, parallel_threshold)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +240,72 @@ mod tests {
             let via_scan = parallel::match_indices(&cond, &ds, usize::MAX);
             assert_eq!(via_index, via_scan);
             assert_eq!(via_index.len(), ds.len());
+        }
+    }
+
+    #[test]
+    fn all_wildcard_condition_falls_back_to_linear_scan() {
+        // An all-wildcard condition has no bounded gene to probe, so the
+        // index must take the linear-scan fallback and return every window.
+        let (values, spec) = venice_windows(1_500);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let cond = Condition::all_wildcards(6);
+        let via_index = index.match_indices(&cond, &ds);
+        assert_eq!(via_index.len(), ds.len(), "wildcards match everything");
+        assert_eq!(via_index, (0..ds.len()).collect::<Vec<_>>());
+        // Same through the parallel-fallback and fused entry points.
+        assert_eq!(
+            index.match_indices_with_parallel_fallback(&cond, &ds, usize::MAX),
+            via_index
+        );
+        let opts = RegressionOptions::fast();
+        let (bits, acc) =
+            index.match_accumulate_with_parallel_fallback(&cond, &ds, opts, usize::MAX);
+        assert_eq!(bits.count_ones(), ds.len());
+        assert_eq!(acc.count(), ds.len());
+    }
+
+    #[test]
+    fn fused_index_route_is_bit_identical_to_fused_scan() {
+        let (values, spec) = venice_windows(5_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let opts = RegressionOptions::fast();
+        for cond in [
+            // Selective: goes through the sorted projection.
+            Condition::new(vec![
+                Gene::bounded(60.0, 80.0),
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::bounded(50.0, 90.0),
+            ]),
+            // Broad: falls back to the chunked scan.
+            Condition::new(vec![
+                Gene::bounded(-1000.0, 1000.0),
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+                Gene::Wildcard,
+            ]),
+        ] {
+            let (idx_bits, idx_acc) =
+                index.match_accumulate_with_parallel_fallback(&cond, &ds, opts, usize::MAX);
+            let (scan_bits, scan_acc) =
+                parallel::match_and_accumulate(&cond, &ds, opts, usize::MAX);
+            assert_eq!(idx_bits, scan_bits);
+            assert_eq!(idx_acc.count(), scan_acc.count());
+            if idx_acc.count() > 1 {
+                let a = idx_acc.solve(opts.ridge_lambda).unwrap();
+                let b = scan_acc.solve(opts.ridge_lambda).unwrap();
+                assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
+                for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
         }
     }
 

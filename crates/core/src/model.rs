@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn too_short_recent_errors() {
         let m = sample_model();
-        assert!(matches!(
-            m.predict_next(&[1.0]),
-            Err(EvoError::Data(_))
-        ));
+        assert!(matches!(m.predict_next(&[1.0]), Err(EvoError::Data(_))));
     }
 
     #[test]

@@ -113,7 +113,12 @@ mod tests {
             ..Default::default()
         };
         let before = c.clone();
-        mutate(&mut c, &cfg, (0.0, 100.0), &mut ChaCha8Rng::seed_from_u64(1));
+        mutate(
+            &mut c,
+            &cfg,
+            (0.0, 100.0),
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
         assert_eq!(c, before);
     }
 
@@ -223,7 +228,12 @@ mod tests {
                 per_gene_probability: 0.5,
                 ..Default::default()
             };
-            mutate(&mut c, &cfg, (0.0, 100.0), &mut ChaCha8Rng::seed_from_u64(seed));
+            mutate(
+                &mut c,
+                &cfg,
+                (0.0, 100.0),
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
             c
         };
         assert_eq!(run(42), run(42));

@@ -13,8 +13,11 @@
 //! indexed `filter`/`map` preserve order, so they do — the determinism test
 //! below pins that).
 
+use crate::bitset::MatchBitset;
 use crate::dataset::ExampleSet;
+use crate::regress::GRAM_CHUNK;
 use crate::rule::Condition;
+use evoforecast_linalg::regression::{NormalEqAccumulator, RegressionOptions};
 use rayon::prelude::*;
 
 /// Indices of the training windows matched by a condition, parallelized when
@@ -26,13 +29,158 @@ pub fn match_indices<E: ExampleSet>(
 ) -> Vec<usize> {
     let n = data.len();
     if n < threshold {
-        (0..n).filter(|&i| condition.matches(data.features(i))).collect()
+        (0..n)
+            .filter(|&i| condition.matches(data.features(i)))
+            .collect()
     } else {
         (0..n)
             .into_par_iter()
             .filter(|&i| condition.matches(data.features(i)))
             .collect()
     }
+}
+
+/// Fused match + normal-equation accumulation over one [`GRAM_CHUNK`] of
+/// windows: bits and Gram rows are produced in ascending window order.
+fn accumulate_chunk<E: ExampleSet>(
+    condition: &Condition,
+    data: &E,
+    chunk: usize,
+    opts: RegressionOptions,
+) -> (NormalEqAccumulator, Vec<u64>) {
+    let start = chunk * GRAM_CHUNK;
+    let end = (start + GRAM_CHUNK).min(data.len());
+    let mut acc = NormalEqAccumulator::new(data.feature_len(), opts.intercept);
+    let mut words = vec![0u64; (end - start).div_ceil(64)];
+    for i in start..end {
+        let w = data.features(i);
+        if condition.matches(w) {
+            acc.push_row(w, data.target(i));
+            let local = i - start;
+            words[local / 64] |= 1u64 << (local % 64);
+        }
+    }
+    (acc, words)
+}
+
+/// Single-pass evaluation front half: match `condition` against every window
+/// *and* accumulate the ridge normal equations over the matches, without
+/// materializing a design matrix. Parallelized over [`GRAM_CHUNK`]-sized
+/// chunks when the dataset has at least `threshold` windows.
+///
+/// The chunk structure — not the thread count — determines the
+/// floating-point summation order: per-chunk accumulators always merge in
+/// ascending chunk order, skipping empty chunks, so the sequential path,
+/// the parallel path and the index path
+/// ([`crate::matchindex::MatchIndex::match_accumulate_with_parallel_fallback`])
+/// return bit-identical results.
+pub fn match_and_accumulate<E: ExampleSet>(
+    condition: &Condition,
+    data: &E,
+    opts: RegressionOptions,
+    threshold: usize,
+) -> (MatchBitset, NormalEqAccumulator) {
+    let n = data.len();
+    let chunks = n.div_ceil(GRAM_CHUNK);
+    let parts: Vec<(NormalEqAccumulator, Vec<u64>)> = if n < threshold {
+        (0..chunks)
+            .map(|c| accumulate_chunk(condition, data, c, opts))
+            .collect()
+    } else {
+        (0..chunks)
+            .into_par_iter()
+            .map(|c| accumulate_chunk(condition, data, c, opts))
+            .collect()
+    };
+    stitch_chunks(parts, data.feature_len(), n, opts)
+}
+
+/// Merge per-chunk results in ascending chunk order (the canonical reduce).
+fn stitch_chunks(
+    parts: Vec<(NormalEqAccumulator, Vec<u64>)>,
+    d: usize,
+    n: usize,
+    opts: RegressionOptions,
+) -> (MatchBitset, NormalEqAccumulator) {
+    let mut bits = MatchBitset::new(n);
+    let mut acc = NormalEqAccumulator::new(d, opts.intercept);
+    for (chunk, (part, words)) in parts.into_iter().enumerate() {
+        if part.count() > 0 {
+            acc.merge(&part);
+        }
+        bits.splice_words(chunk * (GRAM_CHUNK / 64), &words);
+    }
+    (bits, acc)
+}
+
+/// Accumulate the normal equations over an explicit ascending matched-index
+/// list — the index-assisted entry into the fused path. Produces exactly the
+/// per-chunk accumulate/merge sequence of [`match_and_accumulate`], so the
+/// two agree bit-for-bit on the same match set.
+///
+/// # Panics
+/// Panics (in debug builds) when `indices` is not sorted ascending.
+pub fn accumulate_sorted_indices<E: ExampleSet>(
+    indices: &[usize],
+    data: &E,
+    opts: RegressionOptions,
+) -> (MatchBitset, NormalEqAccumulator) {
+    debug_assert!(
+        indices.windows(2).all(|w| w[0] < w[1]),
+        "indices must be sorted"
+    );
+    let n = data.len();
+    let d = data.feature_len();
+    let mut bits = MatchBitset::new(n);
+    let mut acc = NormalEqAccumulator::new(d, opts.intercept);
+    let mut pos = 0usize;
+    while pos < indices.len() {
+        let chunk = indices[pos] / GRAM_CHUNK;
+        let chunk_end = (chunk + 1) * GRAM_CHUNK;
+        let mut part = NormalEqAccumulator::new(d, opts.intercept);
+        while pos < indices.len() && indices[pos] < chunk_end {
+            let i = indices[pos];
+            part.push_row(data.features(i), data.target(i));
+            bits.set(i);
+            pos += 1;
+        }
+        acc.merge(&part);
+    }
+    (bits, acc)
+}
+
+/// Matched windows as a bitset (no regression accumulation) — used for the
+/// ensemble's incremental coverage union. Chunked and parallelized like
+/// [`match_and_accumulate`].
+pub fn match_bitset<E: ExampleSet>(
+    condition: &Condition,
+    data: &E,
+    threshold: usize,
+) -> MatchBitset {
+    let n = data.len();
+    let chunks = n.div_ceil(GRAM_CHUNK);
+    let word_chunk = |c: usize| {
+        let start = c * GRAM_CHUNK;
+        let end = (start + GRAM_CHUNK).min(n);
+        let mut words = vec![0u64; (end - start).div_ceil(64)];
+        for i in start..end {
+            if condition.matches(data.features(i)) {
+                let local = i - start;
+                words[local / 64] |= 1u64 << (local % 64);
+            }
+        }
+        words
+    };
+    let parts: Vec<Vec<u64>> = if n < threshold {
+        (0..chunks).map(word_chunk).collect()
+    } else {
+        (0..chunks).into_par_iter().map(word_chunk).collect()
+    };
+    let mut bits = MatchBitset::new(n);
+    for (chunk, words) in parts.into_iter().enumerate() {
+        bits.splice_words(chunk * (GRAM_CHUNK / 64), &words);
+    }
+    bits
 }
 
 /// Apply a prediction function over every window of a dataset in parallel.
@@ -64,7 +212,9 @@ mod tests {
     }
 
     fn big_series() -> Vec<f64> {
-        (0..20_000).map(|i| (i as f64 * 0.013).sin() * 40.0).collect()
+        (0..20_000)
+            .map(|i| (i as f64 * 0.013).sin() * 40.0)
+            .collect()
     }
 
     #[test]
@@ -92,7 +242,10 @@ mod tests {
             Gene::Wildcard,
         ]);
         let idx = match_indices(&cond, &ds, 1);
-        assert!(idx.windows(2).all(|w| w[0] < w[1]), "indices must be sorted");
+        assert!(
+            idx.windows(2).all(|w| w[0] < w[1]),
+            "indices must be sorted"
+        );
         for &i in &idx {
             assert!(cond.matches(ds.window(i)));
         }
@@ -138,14 +291,101 @@ mod tests {
     }
 
     #[test]
+    fn fused_parallel_and_sequential_are_bit_identical() {
+        let vals = big_series();
+        let ds = dataset(&vals);
+        let cond = Condition::new(vec![
+            Gene::bounded(-10.0, 10.0),
+            Gene::Wildcard,
+            Gene::bounded(0.0, 40.0),
+        ]);
+        let opts = RegressionOptions::fast();
+        let (seq_bits, seq_acc) = match_and_accumulate(&cond, &ds, opts, usize::MAX);
+        let (par_bits, par_acc) = match_and_accumulate(&cond, &ds, opts, 1);
+        assert_eq!(seq_bits, par_bits);
+        assert_eq!(seq_acc.count(), par_acc.count());
+        assert_eq!(
+            seq_acc.sum_targets().to_bits(),
+            par_acc.sum_targets().to_bits()
+        );
+        let a = seq_acc.solve(opts.ridge_lambda).unwrap();
+        let b = par_acc.solve(opts.ridge_lambda).unwrap();
+        assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
+        for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "parallel Gram must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_bitset_agrees_with_match_indices() {
+        let vals = big_series();
+        let ds = dataset(&vals);
+        let cond = Condition::new(vec![
+            Gene::bounded(0.0, 40.0),
+            Gene::Wildcard,
+            Gene::Wildcard,
+        ]);
+        let opts = RegressionOptions::fast();
+        let (bits, acc) = match_and_accumulate(&cond, &ds, opts, usize::MAX);
+        let indices = match_indices(&cond, &ds, usize::MAX);
+        assert_eq!(bits.to_indices(), indices);
+        assert_eq!(acc.count(), indices.len());
+        assert_eq!(match_bitset(&cond, &ds, usize::MAX), bits);
+        assert_eq!(match_bitset(&cond, &ds, 1), bits);
+    }
+
+    #[test]
+    fn sorted_index_accumulation_matches_fused_scan() {
+        // The index path feeds accumulate_sorted_indices; its chunked merge
+        // must reproduce the scan's sums bit-for-bit.
+        let vals = big_series();
+        let ds = dataset(&vals);
+        let cond = Condition::new(vec![
+            Gene::bounded(-25.0, 25.0),
+            Gene::bounded(-40.0, 40.0),
+            Gene::Wildcard,
+        ]);
+        let opts = RegressionOptions::fast();
+        let (scan_bits, scan_acc) = match_and_accumulate(&cond, &ds, opts, usize::MAX);
+        let indices = match_indices(&cond, &ds, usize::MAX);
+        let (idx_bits, idx_acc) = accumulate_sorted_indices(&indices, &ds, opts);
+        assert_eq!(scan_bits, idx_bits);
+        let a = scan_acc.solve(opts.ridge_lambda).unwrap();
+        let b = idx_acc.solve(opts.ridge_lambda).unwrap();
+        assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
+        for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_empty_match_set() {
+        let vals = big_series();
+        let ds = dataset(&vals);
+        let cond = Condition::new(vec![
+            Gene::bounded(1e6, 2e6),
+            Gene::Wildcard,
+            Gene::Wildcard,
+        ]);
+        let opts = RegressionOptions::fast();
+        let (bits, acc) = match_and_accumulate(&cond, &ds, opts, 1);
+        assert_eq!(bits.count_ones(), 0);
+        assert_eq!(acc.count(), 0);
+        let (bits2, acc2) = accumulate_sorted_indices(&[], &ds, opts);
+        assert_eq!(bits2.count_ones(), 0);
+        assert_eq!(acc2.count(), 0);
+    }
+
+    #[test]
     fn threshold_boundary_behaviour() {
         let vals: Vec<f64> = (0..100).map(|i| i as f64).collect();
         let ds = dataset(&vals);
         let cond = Condition::all_wildcards(3);
         // n = 97 windows; thresholds straddling n give identical output.
-        assert_eq!(
-            match_indices(&cond, &ds, 97),
-            match_indices(&cond, &ds, 98)
-        );
+        assert_eq!(match_indices(&cond, &ds, 97), match_indices(&cond, &ds, 98));
     }
 }

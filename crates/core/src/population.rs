@@ -95,7 +95,10 @@ impl Population {
 
     /// Clone out all rules.
     pub fn rules(&self) -> Vec<Rule> {
-        self.individuals.iter().map(|ind| ind.rule.clone()).collect()
+        self.individuals
+            .iter()
+            .map(|ind| ind.rule.clone())
+            .collect()
     }
 }
 

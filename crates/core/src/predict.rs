@@ -6,6 +6,7 @@
 //! *no* prediction — the abstention every results table accounts for in its
 //! "percentage of prediction" column.
 
+use crate::bitset::MatchBitset;
 use crate::dataset::ExampleSet;
 use crate::rule::Rule;
 use serde::{Deserialize, Serialize};
@@ -150,11 +151,7 @@ impl RuleSetPredictor {
     }
 
     /// Predict every example of a dataset (parallel above `threshold`).
-    pub fn predict_dataset<E: ExampleSet>(
-        &self,
-        data: &E,
-        threshold: usize,
-    ) -> Vec<Option<f64>> {
+    pub fn predict_dataset<E: ExampleSet>(&self, data: &E, threshold: usize) -> Vec<Option<f64>> {
         crate::parallel::batch_predict(data, threshold, |w| self.predict(w))
     }
 
@@ -170,16 +167,19 @@ impl RuleSetPredictor {
     /// of rules an ensemble produces.
     pub fn compact<E: ExampleSet>(self, data: &E) -> RuleSetPredictor {
         let n = data.len();
-        // Precompute match bitsets (one Vec<bool> per rule).
-        let matches: Vec<Vec<bool>> = self
+        // Precompute match bitsets (one u64 bitset per rule) so the
+        // domination check below is a word-wise subset test, not a
+        // window-by-window re-match.
+        let matches: Vec<MatchBitset> = self
             .rules
             .iter()
-            .map(|r| (0..n).map(|i| r.condition.matches(data.features(i))).collect())
+            .map(|r| {
+                let mut bits = MatchBitset::new(n);
+                bits.set_where_unset(|i| r.condition.matches(data.features(i)));
+                bits
+            })
             .collect();
-        let counts: Vec<usize> = matches
-            .iter()
-            .map(|m| m.iter().filter(|&&b| b).count())
-            .collect();
+        let counts: Vec<usize> = matches.iter().map(|m| m.count_ones()).collect();
 
         let mut keep = vec![true; self.rules.len()];
         for b in 0..self.rules.len() {
@@ -193,17 +193,10 @@ impl RuleSetPredictor {
                 }
                 // Tie-break so two identical rules don't eliminate each
                 // other: in a perfect tie, the lower index survives.
-                if counts[a] == counts[b]
-                    && self.rules[a].error == self.rules[b].error
-                    && a > b
-                {
+                if counts[a] == counts[b] && self.rules[a].error == self.rules[b].error && a > b {
                     continue;
                 }
-                let b_escapes_a = matches[b]
-                    .iter()
-                    .zip(&matches[a])
-                    .any(|(&mb, &ma)| mb && !ma);
-                if b_escapes_a {
+                if !matches[b].is_subset_of(&matches[a]) {
                     continue 'candidates; // B reaches a window A misses
                 }
                 keep[b] = false;
@@ -258,14 +251,24 @@ impl RuleSetPredictor {
     }
 
     /// Fraction of a dataset's examples that receive a prediction.
+    ///
+    /// Accumulates a bitset union rule by rule, only re-testing windows no
+    /// earlier rule has covered, and stops as soon as the union saturates —
+    /// so heavily overlapping ensembles cost far less than `rules × windows`
+    /// condition tests.
     pub fn coverage<E: ExampleSet>(&self, data: &E) -> f64 {
-        if data.len() == 0 {
+        let n = data.len();
+        if n == 0 {
             return 0.0;
         }
-        let covered = (0..data.len())
-            .filter(|&i| self.rules.iter().any(|r| r.condition.matches(data.features(i))))
-            .count();
-        covered as f64 / data.len() as f64
+        let mut covered = MatchBitset::new(n);
+        for r in &self.rules {
+            covered.set_where_unset(|i| r.condition.matches(data.features(i)));
+            if covered.all_set() {
+                break;
+            }
+        }
+        covered.count_ones() as f64 / n as f64
     }
 }
 
@@ -289,8 +292,8 @@ mod tests {
     #[test]
     fn filters_unusable_rules() {
         let p = RuleSetPredictor::new(vec![
-            rule(0.0, 1.0, 1.0, 0.0, 5, 0.1),          // kept
-            rule(0.0, 1.0, 1.0, 0.0, 1, 0.1),          // NR <= 1: dropped
+            rule(0.0, 1.0, 1.0, 0.0, 5, 0.1),           // kept
+            rule(0.0, 1.0, 1.0, 0.0, 1, 0.1),           // NR <= 1: dropped
             rule(0.0, 1.0, 1.0, 0.0, 9, f64::INFINITY), // inf error: dropped
         ]);
         assert_eq!(p.len(), 1);
@@ -401,7 +404,10 @@ mod tests {
             .predict_with(&[5.0], Combination::InverseErrorWeighted)
             .unwrap();
         assert!((mean - 15.0).abs() < 1e-9);
-        assert!(weighted < 10.5, "weighted {weighted} should hug the precise rule");
+        assert!(
+            weighted < 10.5,
+            "weighted {weighted} should hug the precise rule"
+        );
         assert!(weighted > 9.9);
     }
 
@@ -421,7 +427,10 @@ mod tests {
     #[test]
     fn weighted_abstains_like_mean() {
         let p = RuleSetPredictor::new(vec![rule(0.0, 1.0, 0.0, 4.0, 3, 0.5)]);
-        assert_eq!(p.predict_with(&[9.0], Combination::InverseErrorWeighted), None);
+        assert_eq!(
+            p.predict_with(&[9.0], Combination::InverseErrorWeighted),
+            None
+        );
     }
 
     #[test]
@@ -429,8 +438,8 @@ mod tests {
         let vals: Vec<f64> = (0..30).map(|i| i as f64).collect();
         let ds = WindowSpec::new(1, 1).unwrap().dataset(&vals).unwrap();
         let p = RuleSetPredictor::new(vec![
-            rule(0.0, 20.0, 1.0, 1.0, 5, 0.1), // dominator: wide and precise
-            rule(5.0, 10.0, 1.0, 1.0, 5, 0.5), // subset with worse error: dropped
+            rule(0.0, 20.0, 1.0, 1.0, 5, 0.1),  // dominator: wide and precise
+            rule(5.0, 10.0, 1.0, 1.0, 5, 0.5),  // subset with worse error: dropped
             rule(22.0, 28.0, 1.0, 1.0, 5, 0.9), // disjoint zone: kept
         ]);
         let before_cov = p.coverage(&ds);

@@ -8,14 +8,37 @@
 //!    linear regression over those vectors,
 //! 4. the expected error is `e_R = max_i |v_i − ṽ_i|`.
 //!
-//! This module performs steps 1–4 in one pass, returning an [`Evaluation`]
-//! the fitness function and the rule constructor both consume. Matching and
-//! the regression accumulation are fused so each window is touched once.
+//! Two implementations are provided:
+//!
+//! * the **reference two-pass path** ([`evaluate`] / [`fit_part`]): collect
+//!   the matched indices, materialize the design matrix, solve by QR (or
+//!   ridge). Numerically robust, kept as the oracle the fused path is tested
+//!   against.
+//! * the **fused single-pass path** ([`fit_from_accumulator`], fed by
+//!   [`crate::parallel::match_and_accumulate`]): while matching, accumulate
+//!   the `(D+1)×(D+1)` normal equations (`XᵀX` Gram and `Xᵀy`) directly, so
+//!   the design matrix is never materialized; solve by Cholesky. A second
+//!   cheap pass over only the `K` matched rows computes `e_R`. This is the
+//!   engine's hot path — once per offspring, every generation.
+//!
+//! To keep results bit-identical across the sequential, rayon-parallel and
+//! index-accelerated matchers, accumulation is chunked: windows are grouped
+//! into fixed [`GRAM_CHUNK`]-sized chunks, each chunk gets its own
+//! accumulator (rows pushed in ascending window order), and non-empty chunk
+//! accumulators merge in ascending chunk order. Every path produces the
+//! same chunk structure, hence the same floating-point sums.
 
-use crate::rule::{Condition, Rule};
-use evoforecast_linalg::regression::{LinearRegression, RegressionOptions};
-use evoforecast_linalg::Matrix;
+use crate::bitset::MatchBitset;
 use crate::dataset::ExampleSet;
+use crate::rule::{Condition, Rule};
+use evoforecast_linalg::regression::{LinearRegression, NormalEqAccumulator, RegressionOptions};
+use evoforecast_linalg::Matrix;
+
+/// Windows per normal-equation accumulation chunk. A multiple of 64 so chunk
+/// boundaries are word-aligned in [`MatchBitset`]; small enough that the
+/// parallel matcher gets useful work units, large enough that per-chunk
+/// accumulator overhead stays negligible.
+pub const GRAM_CHUNK: usize = 4096;
 
 /// Outcome of evaluating a condition against a training dataset.
 #[derive(Debug, Clone)]
@@ -71,12 +94,101 @@ impl Evaluation {
     }
 }
 
-/// Match `condition` against every window of `data` and derive the
-/// predicting part from the matched subset.
+/// Assemble a full [`Rule`] from a condition, an optional fitted part and a
+/// match count, with the same no-match semantics as [`Evaluation::into_rule`]
+/// (zero hyperplane, infinite error). Used by the fused path, which tracks
+/// matches as a bitset instead of an index list.
+pub fn rule_from_parts(condition: Condition, model: Option<FittedPart>, matched: usize) -> Rule {
+    let d = condition.len();
+    match model {
+        Some(m) => Rule {
+            condition,
+            coefficients: m.coefficients,
+            intercept: m.intercept,
+            prediction: m.prediction,
+            error: m.error,
+            matched,
+        },
+        None => Rule {
+            condition,
+            coefficients: vec![0.0; d],
+            intercept: 0.0,
+            prediction: 0.0,
+            error: f64::INFINITY,
+            matched: 0,
+        },
+    }
+}
+
+/// Derive the predicting part from pre-accumulated normal equations — the
+/// second half of the fused path. `acc` and `matched` must come from the
+/// same match run ([`crate::parallel::match_and_accumulate`] or the index
+/// equivalent). The solve is `O(p³)`; the `e_R` residual pass touches only
+/// the `K` matched rows.
 ///
-/// `opts` selects the regression path; the engine uses
+/// Special cases mirror [`fit_part`]: no matches → `None`; a single match →
+/// constant predictor with zero error; an unsolvable system → constant mean
+/// predictor with its worst-case residual.
+pub fn fit_from_accumulator<E: ExampleSet>(
+    acc: &NormalEqAccumulator,
+    matched: &MatchBitset,
+    data: &E,
+    opts: RegressionOptions,
+) -> Option<FittedPart> {
+    let count = acc.count();
+    if count == 0 {
+        return None;
+    }
+    let d = data.feature_len();
+    let mean_target = acc.sum_targets() / count as f64;
+
+    if count == 1 {
+        let i = matched.iter_ones().next().expect("count == 1");
+        return Some(FittedPart {
+            coefficients: vec![0.0; d],
+            intercept: data.target(i),
+            prediction: data.target(i),
+            error: 0.0,
+        });
+    }
+
+    match acc.solve(opts.ridge_lambda) {
+        Ok(fit) => {
+            // e_R over matched rows only. f64::max is exact, so this fold is
+            // order-insensitive — any match path yields the same maximum.
+            let error = matched
+                .iter_ones()
+                .map(|i| (data.target(i) - fit.predict(data.features(i))).abs())
+                .fold(0.0_f64, f64::max);
+            Some(FittedPart {
+                coefficients: fit.coefficients().to_vec(),
+                intercept: fit.intercept(),
+                prediction: mean_target,
+                error,
+            })
+        }
+        Err(_) => {
+            let error = matched
+                .iter_ones()
+                .map(|i| (data.target(i) - mean_target).abs())
+                .fold(0.0_f64, f64::max);
+            Some(FittedPart {
+                coefficients: vec![0.0; d],
+                intercept: mean_target,
+                prediction: mean_target,
+                error,
+            })
+        }
+    }
+}
+
+/// Match `condition` against every window of `data` and derive the
+/// predicting part from the matched subset — the reference two-pass
+/// implementation the fused path is verified against.
+///
+/// `opts` selects the regression path; the engine's fused equivalent uses
 /// [`RegressionOptions::fast`] (ridge-stabilized normal equations) because
-/// this runs once per offspring.
+/// it runs once per offspring.
 pub fn evaluate<E: ExampleSet>(
     condition: &Condition,
     data: &E,
@@ -103,8 +215,7 @@ pub fn fit_part<E: ExampleSet>(
 
     // Mean matched target = the paper's scalar p; also the fallback
     // prediction when the regression cannot run.
-    let mean_target =
-        matched.iter().map(|&i| data.target(i)).sum::<f64>() / matched.len() as f64;
+    let mean_target = matched.iter().map(|&i| data.target(i)).sum::<f64>() / matched.len() as f64;
 
     if matched.len() == 1 {
         // A single point determines no hyperplane: predict its target as a
@@ -176,7 +287,11 @@ mod tests {
         let ev = evaluate(&cond, &ds, RegressionOptions::default());
         assert_eq!(ev.matched_count(), ds.len());
         let m = ev.model.as_ref().unwrap();
-        assert!(m.error < 1e-3, "near-exact linear series: error {}", m.error);
+        assert!(
+            m.error < 1e-3,
+            "near-exact linear series: error {}",
+            m.error
+        );
         let rule = ev.into_rule(cond);
         // Prediction at window [10, 11, 12] must be ~14 (τ = 2).
         assert!((rule.predict(&[10.0, 11.0, 12.0]) - 14.0).abs() < 1e-2);
@@ -229,8 +344,7 @@ mod tests {
         let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
         let cond = Condition::all_wildcards(2);
         let ev = evaluate(&cond, &ds, RegressionOptions::default());
-        let mean: f64 =
-            (0..ds.len()).map(|i| ds.target(i)).sum::<f64>() / ds.len() as f64;
+        let mean: f64 = (0..ds.len()).map(|i| ds.target(i)).sum::<f64>() / ds.len() as f64;
         let m = ev.model.as_ref().unwrap();
         assert!((m.prediction - mean).abs() < 1e-12);
     }
@@ -270,5 +384,78 @@ mod tests {
         let vals = ramp(10);
         let ds = WindowSpec::new(2, 1).unwrap().dataset(&vals).unwrap();
         assert!(fit_part(&[], &ds, RegressionOptions::default()).is_none());
+    }
+
+    mod properties {
+        use super::*;
+        use crate::parallel;
+        use evoforecast_tsdata::gen::waves::noisy_sine;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn fused_kernel_agrees_with_two_pass_reference(
+                seed in 0u64..500,
+                n in 30usize..220,
+                d in 1usize..6,
+                lo_frac in 0.0..1.0f64,
+                width in 0.05..1.2f64,
+                wild_mask in 0u8..32,
+                threshold_sel in 0usize..3,
+            ) {
+                prop_assume!(n > d + 6);
+                let threshold = [1usize, 64, usize::MAX][threshold_sel];
+                let series = noisy_sine(n, 11.0, 1.0, 0.15, seed);
+                let ds = WindowSpec::new(d, 1).unwrap().dataset(series.values()).unwrap();
+                let (min, max) = series
+                    .values()
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                        (a.min(v), b.max(v))
+                    });
+                let span = max - min;
+                let genes = (0..d)
+                    .map(|g| {
+                        if wild_mask & (1 << g) != 0 {
+                            Gene::Wildcard
+                        } else {
+                            let lo = min + lo_frac * span * 0.8;
+                            Gene::bounded(lo, lo + width * span)
+                        }
+                    })
+                    .collect();
+                let cond = Condition::new(genes);
+                let opts = RegressionOptions::fast();
+
+                // Reference: two passes, materialized design matrix, fit_part.
+                let reference = evaluate(&cond, &ds, opts);
+                // Fused: one pass accumulating normal equations + bitset.
+                let (bits, acc) = parallel::match_and_accumulate(&cond, &ds, opts, threshold);
+                let fused = fit_from_accumulator(&acc, &bits, &ds, opts);
+
+                // Matched sets identical, bit for bit.
+                prop_assert_eq!(bits.to_indices(), reference.matched.clone());
+                prop_assert_eq!(acc.count(), reference.matched_count());
+
+                match (fused, reference.model) {
+                    (None, None) => {}
+                    (Some(f), Some(r)) => {
+                        prop_assert_eq!(f.coefficients.len(), r.coefficients.len());
+                        for (a, b) in f.coefficients.iter().zip(&r.coefficients) {
+                            prop_assert!((a - b).abs() < 1e-9,
+                                "coefficient drift {} vs {}", a, b);
+                        }
+                        prop_assert!((f.intercept - r.intercept).abs() < 1e-9,
+                            "intercept drift {} vs {}", f.intercept, r.intercept);
+                        prop_assert!((f.prediction - r.prediction).abs() < 1e-9);
+                        prop_assert!((f.error - r.error).abs() < 1e-9,
+                            "e_R drift {} vs {}", f.error, r.error);
+                    }
+                    (f, r) => prop_assert!(false,
+                        "fused {:?} vs reference {:?} disagree on fittability", f, r),
+                }
+            }
+        }
     }
 }

@@ -182,12 +182,10 @@ impl Condition {
         );
         let genes = flat
             .chunks_exact(2)
-            .map(|pair| {
-                match (pair[0].is_nan(), pair[1].is_nan()) {
-                    (true, true) => Gene::Wildcard,
-                    (false, false) => Gene::bounded(pair[0], pair[1]),
-                    _ => panic!("half-NaN pair in flat encoding"),
-                }
+            .map(|pair| match (pair[0].is_nan(), pair[1].is_nan()) {
+                (true, true) => Gene::Wildcard,
+                (false, false) => Gene::bounded(pair[0], pair[1]),
+                _ => panic!("half-NaN pair in flat encoding"),
             })
             .collect();
         Condition::new(genes)

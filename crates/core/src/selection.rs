@@ -30,10 +30,7 @@ pub fn tournament<R: Rng>(pop: &Population, rounds: usize, rng: &mut R) -> usize
 /// the paper does not force distinct parents, and with crossover + mutation
 /// a self-pairing still explores (mutation perturbs the clone).
 pub fn select_parents<R: Rng>(pop: &Population, rounds: usize, rng: &mut R) -> (usize, usize) {
-    (
-        tournament(pop, rounds, rng),
-        tournament(pop, rounds, rng),
-    )
+    (tournament(pop, rounds, rng), tournament(pop, rounds, rng))
 }
 
 #[cfg(test)]
@@ -70,7 +67,10 @@ mod tests {
         for _ in 0..200 {
             seen[tournament(&pop, 1, &mut rng)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "one-round tournament must reach all");
+        assert!(
+            seen.iter().all(|&s| s),
+            "one-round tournament must reach all"
+        );
     }
 
     #[test]

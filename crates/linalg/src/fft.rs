@@ -245,7 +245,10 @@ mod tests {
             Err(LinalgError::ShapeMismatch { .. })
         ));
         let mut e: Vec<Complex> = vec![];
-        assert!(matches!(fft_in_place(&mut e, false), Err(LinalgError::Empty)));
+        assert!(matches!(
+            fft_in_place(&mut e, false),
+            Err(LinalgError::Empty)
+        ));
         assert!(matches!(fft_real(&[]), Err(LinalgError::Empty)));
         assert!(matches!(fft_real(&[f64::NAN]), Err(LinalgError::NonFinite)));
     }

@@ -8,7 +8,10 @@
 //! * [`Matrix`] — a row-major dense matrix with the usual algebra,
 //! * [`lu`] — LU factorization with partial pivoting (solve / det / inverse),
 //! * [`qr`] — Householder QR (numerically robust least squares),
+//! * [`cholesky`] — LLᵀ factorization for the SPD normal-equation systems
+//!   produced by the fused evaluation kernel,
 //! * [`regression`] — OLS and ridge regression built on the factorizations,
+//!   plus the streaming [`regression::NormalEqAccumulator`],
 //! * [`stats`] — summary statistics used by generators, initializers and
 //!   metrics (mean, variance, quantiles, autocorrelation, histograms).
 //!
@@ -31,6 +34,7 @@
 // clearly than clippy's zip/enumerate rewrites.
 #![allow(clippy::needless_range_loop)]
 
+pub mod cholesky;
 pub mod error;
 pub mod fft;
 pub mod lu;

@@ -93,7 +93,11 @@ impl LuDecomposition {
             }
         }
 
-        Ok(LuDecomposition { lu, perm, perm_sign })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Order of the factorized matrix.
@@ -245,7 +249,10 @@ mod tests {
     fn nan_rejected() {
         let mut a = Matrix::identity(2);
         a[(0, 1)] = f64::NAN;
-        assert_eq!(LuDecomposition::new(&a).unwrap_err(), LinalgError::NonFinite);
+        assert_eq!(
+            LuDecomposition::new(&a).unwrap_err(),
+            LinalgError::NonFinite
+        );
     }
 
     #[test]
@@ -282,7 +289,10 @@ mod tests {
         let x = LuDecomposition::new(&a).unwrap().solve_matrix(&b).unwrap();
         assert!(x.approx_eq(&Matrix::from_rows(&[&[1.0, 2.0], &[1.0, 2.0]]), 1e-12));
         let bad = Matrix::zeros(3, 1);
-        assert!(LuDecomposition::new(&a).unwrap().solve_matrix(&bad).is_err());
+        assert!(LuDecomposition::new(&a)
+            .unwrap()
+            .solve_matrix(&bad)
+            .is_err());
     }
 
     /// Build a well-conditioned pseudo-random matrix: diagonally dominant.

@@ -259,7 +259,9 @@ mod tests {
     #[test]
     fn least_squares_residual_orthogonal_to_columns() {
         // Noisy overdetermined system: residual must be orthogonal to col(A).
-        let a = Matrix::from_fn(8, 3, |i, j| ((i * 3 + j) as f64 * 0.7).sin() + 0.1 * j as f64);
+        let a = Matrix::from_fn(8, 3, |i, j| {
+            ((i * 3 + j) as f64 * 0.7).sin() + 0.1 * j as f64
+        });
         let b: Vec<f64> = (0..8).map(|i| (i as f64 * 0.9).cos() * 2.0).collect();
         let x = least_squares(&a, &b).unwrap();
         let ax = a.matvec(&x).unwrap();
@@ -317,7 +319,10 @@ mod tests {
         );
         let mut a = Matrix::identity(2);
         a[(1, 0)] = f64::INFINITY;
-        assert_eq!(QrDecomposition::new(&a).unwrap_err(), LinalgError::NonFinite);
+        assert_eq!(
+            QrDecomposition::new(&a).unwrap_err(),
+            LinalgError::NonFinite
+        );
     }
 
     #[test]

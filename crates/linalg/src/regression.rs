@@ -16,6 +16,7 @@
 //!   engine needs: a degenerate rule should still get *some* prediction and a
 //!   large-ish error rather than aborting the generation.
 
+use crate::cholesky::CholeskyDecomposition;
 use crate::error::LinalgError;
 use crate::lu::LuDecomposition;
 use crate::matrix::Matrix;
@@ -83,11 +84,7 @@ impl LinearRegression {
     ///
     /// # Errors
     /// See [`LinearRegression::fit`].
-    pub fn fit_with(
-        xs: &Matrix,
-        ys: &[f64],
-        opts: RegressionOptions,
-    ) -> Result<Self, LinalgError> {
+    pub fn fit_with(xs: &Matrix, ys: &[f64], opts: RegressionOptions) -> Result<Self, LinalgError> {
         let (n, d) = xs.shape();
         if ys.len() != n {
             return Err(LinalgError::ShapeMismatch {
@@ -173,8 +170,12 @@ impl LinearRegression {
         Ok(Self::from_beta(beta, opts.intercept))
     }
 
-    fn from_beta(mut beta: Vec<f64>, intercept: bool) -> Self {
-        let b0 = if intercept { beta.pop().unwrap_or(0.0) } else { 0.0 };
+    pub(crate) fn from_beta(mut beta: Vec<f64>, intercept: bool) -> Self {
+        let b0 = if intercept {
+            beta.pop().unwrap_or(0.0)
+        } else {
+            0.0
+        };
         LinearRegression {
             coefficients: beta,
             intercept: b0,
@@ -234,6 +235,162 @@ impl LinearRegression {
             coefficients,
             intercept,
         }
+    }
+}
+
+/// Streaming accumulator for the ridge normal equations `(XᵀX + λI) β = Xᵀy`.
+///
+/// The fused evaluation kernel pushes each matched observation as it is
+/// discovered, so the design matrix is never materialized: the state is one
+/// `p x p` Gram triangle plus `Xᵀy`, `O(p²)` memory regardless of how many
+/// rows match. Accumulators over disjoint row chunks can be [`merged`]
+/// (entrywise sums), which makes the reduction order explicit — callers that
+/// need bit-identical results across sequential/parallel/indexed paths merge
+/// per-chunk accumulators in ascending chunk order.
+///
+/// [`merged`]: NormalEqAccumulator::merge
+#[derive(Debug, Clone)]
+pub struct NormalEqAccumulator {
+    /// Feature count `d` (excluding the intercept column).
+    d: usize,
+    /// Whether an all-ones intercept column is appended (`p = d + 1`).
+    intercept: bool,
+    /// Upper triangle of `XᵀX` over the augmented design, row-major `p x p`
+    /// (entries below the diagonal stay zero until `solve` mirrors them).
+    gram: Vec<f64>,
+    /// `Xᵀy` over the augmented design.
+    xty: Vec<f64>,
+    /// Σ y, kept separately so the mean target is available even without an
+    /// intercept column.
+    sum_y: f64,
+    /// Rows pushed (or merged) so far.
+    count: usize,
+    /// Scratch row holding `[features..., 1.0]`.
+    row_buf: Vec<f64>,
+}
+
+impl NormalEqAccumulator {
+    /// Empty accumulator for `d`-feature observations.
+    pub fn new(d: usize, intercept: bool) -> NormalEqAccumulator {
+        let p = if intercept { d + 1 } else { d };
+        let mut row_buf = vec![0.0; p];
+        if intercept {
+            row_buf[d] = 1.0;
+        }
+        NormalEqAccumulator {
+            d,
+            intercept,
+            gram: vec![0.0; p * p],
+            xty: vec![0.0; p],
+            sum_y: 0.0,
+            count: 0,
+            row_buf,
+        }
+    }
+
+    /// Augmented-design column count (`d + 1` with an intercept).
+    pub fn order(&self) -> usize {
+        self.xty.len()
+    }
+
+    /// Rows accumulated so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Sum of the accumulated targets (`Σ y`).
+    pub fn sum_targets(&self) -> f64 {
+        self.sum_y
+    }
+
+    /// Rank-1 update with one observation.
+    ///
+    /// # Panics
+    /// Panics in debug builds when `features.len() != d`.
+    #[inline]
+    pub fn push_row(&mut self, features: &[f64], target: f64) {
+        debug_assert_eq!(features.len(), self.d, "feature count mismatch");
+        let p = self.xty.len();
+        self.row_buf[..self.d].copy_from_slice(features);
+        for a in 0..p {
+            let ra = self.row_buf[a];
+            if ra == 0.0 {
+                continue;
+            }
+            let grow = &mut self.gram[a * p..(a + 1) * p];
+            for b in a..p {
+                grow[b] += ra * self.row_buf[b];
+            }
+        }
+        vector::axpy(target, &self.row_buf, &mut self.xty);
+        self.sum_y += target;
+        self.count += 1;
+    }
+
+    /// Fold another accumulator (over a disjoint row chunk) into this one.
+    ///
+    /// # Panics
+    /// Panics when the two accumulators have different shapes.
+    pub fn merge(&mut self, other: &NormalEqAccumulator) {
+        assert_eq!(self.d, other.d, "accumulator feature counts differ");
+        assert_eq!(self.intercept, other.intercept, "intercept modes differ");
+        for (g, o) in self.gram.iter_mut().zip(&other.gram) {
+            *g += o;
+        }
+        for (x, o) in self.xty.iter_mut().zip(&other.xty) {
+            *x += o;
+        }
+        self.sum_y += other.sum_y;
+        self.count += other.count;
+    }
+
+    /// Solve the accumulated system with the same trace-scaled ridge term as
+    /// [`LinearRegression::fit_with`]'s ridge path, via Cholesky (the system
+    /// is SPD by construction) with a pivoted-LU fallback.
+    ///
+    /// # Errors
+    /// * [`LinalgError::Empty`] when no rows were pushed,
+    /// * [`LinalgError::NonFinite`] when the accumulated sums are not finite,
+    /// * [`LinalgError::Singular`] when both solvers fail.
+    pub fn solve(&self, ridge_lambda: f64) -> Result<LinearRegression, LinalgError> {
+        if self.count == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let p = self.xty.len();
+        if !vector::all_finite(&self.gram) || !vector::all_finite(&self.xty) {
+            return Err(LinalgError::NonFinite);
+        }
+
+        // Mirror the upper triangle and add the trace-scaled ridge term —
+        // the exact formula of `fit_ridge_normal_equations`.
+        let mut trace = 0.0;
+        for a in 0..p {
+            trace += self.gram[a * p + a];
+        }
+        let lambda = ridge_lambda.max(f64::MIN_POSITIVE) * (trace / p as f64).max(1.0);
+        let system = Matrix::from_fn(p, p, |a, b| {
+            let v = if b >= a {
+                self.gram[a * p + b]
+            } else {
+                self.gram[b * p + a]
+            };
+            if a == b {
+                v + lambda
+            } else {
+                v
+            }
+        });
+
+        let beta = match CholeskyDecomposition::new(&system).and_then(|ch| ch.solve(&self.xty)) {
+            Ok(beta) => beta,
+            Err(LinalgError::Singular) => {
+                // Extreme scaling can push the ridge diagonal below the
+                // positive-definiteness tolerance; retry with pivoting.
+                LuDecomposition::new(&system)?.solve(&self.xty)?
+            }
+            Err(e) => return Err(e),
+        };
+        Ok(LinearRegression::from_beta(beta, self.intercept))
     }
 }
 
@@ -384,7 +541,109 @@ mod tests {
         }
     }
 
+    #[test]
+    fn accumulator_matches_ridge_fit() {
+        let xs = Matrix::from_fn(12, 3, |i, j| {
+            (i as f64 * (0.7 + 0.3 * j as f64)).sin() * 4.0
+        });
+        let ys: Vec<f64> = (0..12).map(|i| (i as f64 * 0.9).cos() * 2.0).collect();
+        let opts = RegressionOptions::fast();
+        let direct = LinearRegression::fit_with(&xs, &ys, opts).unwrap();
+
+        let mut acc = NormalEqAccumulator::new(3, opts.intercept);
+        for i in 0..12 {
+            acc.push_row(xs.row(i), ys[i]);
+        }
+        assert_eq!(acc.count(), 12);
+        assert_eq!(acc.order(), 4);
+        let streamed = acc.solve(opts.ridge_lambda).unwrap();
+        for (a, b) in streamed.coefficients().iter().zip(direct.coefficients()) {
+            assert!((a - b).abs() < 1e-9, "coefficient drift: {a} vs {b}");
+        }
+        assert!((streamed.intercept() - direct.intercept()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accumulator_merge_equals_single_pass() {
+        let xs = Matrix::from_fn(20, 2, |i, j| ((i + 3 * j) as f64 * 0.31).sin() * 3.0);
+        let ys: Vec<f64> = (0..20).map(|i| (i as f64 * 0.17).cos()).collect();
+
+        let mut whole = NormalEqAccumulator::new(2, true);
+        for i in 0..20 {
+            whole.push_row(xs.row(i), ys[i]);
+        }
+        let mut merged = NormalEqAccumulator::new(2, true);
+        for chunk in [(0, 7), (7, 13), (13, 20)] {
+            let mut part = NormalEqAccumulator::new(2, true);
+            for i in chunk.0..chunk.1 {
+                part.push_row(xs.row(i), ys[i]);
+            }
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert!((merged.sum_targets() - whole.sum_targets()).abs() < 1e-12);
+        let a = whole.solve(1e-6).unwrap();
+        let b = merged.solve(1e-6).unwrap();
+        for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+            assert!((x - y).abs() < 1e-10);
+        }
+        assert!((a.intercept() - b.intercept()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn accumulator_without_intercept() {
+        let xs = design(&[&[1.0], &[2.0], &[3.0]]);
+        let ys = [2.0, 4.0, 6.0];
+        let mut acc = NormalEqAccumulator::new(1, false);
+        for i in 0..3 {
+            acc.push_row(xs.row(i), ys[i]);
+        }
+        let fit = acc.solve(1e-10).unwrap();
+        assert!((fit.coefficients()[0] - 2.0).abs() < 1e-6);
+        assert_eq!(fit.intercept(), 0.0);
+        assert!((acc.sum_targets() - 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_accumulator_refuses_to_solve() {
+        let acc = NormalEqAccumulator::new(3, true);
+        assert_eq!(acc.solve(1e-6).unwrap_err(), LinalgError::Empty);
+    }
+
+    #[test]
+    fn accumulator_handles_underdetermined_chunks() {
+        // One row, two features + intercept: the ridge term must carry it.
+        let mut acc = NormalEqAccumulator::new(2, true);
+        acc.push_row(&[2.0, -1.0], 10.0);
+        let fit = acc.solve(1e-6).unwrap();
+        assert!(fit.coefficients().iter().all(|c| c.is_finite()));
+        assert!((fit.predict(&[2.0, -1.0]) - 10.0).abs() < 1.0);
+    }
+
     proptest! {
+        #[test]
+        fn accumulator_agrees_with_ridge_fit_everywhere(
+            n in 2usize..30,
+            d in 1usize..5,
+            seed in 0u64..300,
+        ) {
+            let xs = Matrix::from_fn(n, d, |i, j| {
+                (i as f64 * (0.713 + 0.317 * j as f64) + seed as f64 * 0.01).sin() * 5.0
+            });
+            let ys: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53 + seed as f64 * 0.02).cos()).collect();
+            let opts = RegressionOptions::fast();
+            let direct = LinearRegression::fit_with(&xs, &ys, opts).unwrap();
+            let mut acc = NormalEqAccumulator::new(d, opts.intercept);
+            for i in 0..n {
+                acc.push_row(xs.row(i), ys[i]);
+            }
+            let streamed = acc.solve(opts.ridge_lambda).unwrap();
+            for (a, b) in streamed.coefficients().iter().zip(direct.coefficients()) {
+                prop_assert!((a - b).abs() < 1e-8, "coefficients {} vs {}", a, b);
+            }
+            prop_assert!((streamed.intercept() - direct.intercept()).abs() < 1e-8);
+        }
+
         #[test]
         fn recovers_planted_model(
             n in 6usize..40,

@@ -37,16 +37,18 @@ pub fn std_dev(xs: &[f64]) -> Option<f64> {
 
 /// Minimum value; `None` for an empty slice. NaNs are ignored.
 pub fn min(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(acc.map_or(x, |a: f64| a.min(x)))
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.min(x))))
 }
 
 /// Maximum value; `None` for an empty slice. NaNs are ignored.
 pub fn max(xs: &[f64]) -> Option<f64> {
-    xs.iter().copied().filter(|x| !x.is_nan()).fold(None, |acc, x| {
-        Some(acc.map_or(x, |a: f64| a.max(x)))
-    })
+    xs.iter()
+        .copied()
+        .filter(|x| !x.is_nan())
+        .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
 }
 
 /// `(min, max)` in a single pass; `None` for empty input. NaNs are ignored.

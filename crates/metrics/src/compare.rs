@@ -121,7 +121,10 @@ mod tests {
 
     /// Deterministic pseudo-noise in [-1, 1].
     fn noise(i: usize, seed: u64) -> f64 {
-        (((i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed) >> 33) as f64
+        (((i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(seed)
+            >> 33) as f64
             / 2.0_f64.powi(30))
             - 1.0
     }
@@ -176,7 +179,10 @@ mod tests {
             .map(|(i, x)| x + errors[(i + 37) % n])
             .collect();
         let c = bootstrap_rmse_diff(&actual, &pa, &pb, 500, 0.05, 5).unwrap();
-        assert!((c.rmse_diff).abs() < 1e-12, "full-sample tie by construction");
+        assert!(
+            (c.rmse_diff).abs() < 1e-12,
+            "full-sample tie by construction"
+        );
         assert!(
             c.ci_low < 0.0 && c.ci_high > 0.0,
             "CI [{}, {}] should straddle zero",

@@ -26,7 +26,9 @@ impl fmt::Display for MetricError {
                 f,
                 "length mismatch: {actual} actual values vs {predicted} predictions"
             ),
-            MetricError::Empty => write!(f, "metric requires at least one (actual, predicted) pair"),
+            MetricError::Empty => {
+                write!(f, "metric requires at least one (actual, predicted) pair")
+            }
             MetricError::Degenerate(why) => write!(f, "metric undefined: {why}"),
         }
     }

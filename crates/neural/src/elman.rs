@@ -250,9 +250,15 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(Elman::new(0, ElmanConfig::default()).is_err());
-        let c = ElmanConfig { hidden: 0, ..Default::default() };
+        let c = ElmanConfig {
+            hidden: 0,
+            ..Default::default()
+        };
         assert!(Elman::new(3, c).is_err());
-        let c = ElmanConfig { learning_rate: 0.0, ..Default::default() };
+        let c = ElmanConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        };
         assert!(Elman::new(3, c).is_err());
     }
 
@@ -288,7 +294,14 @@ mod tests {
     #[test]
     fn context_affects_output() {
         let (xs, ys) = sine_dataset(200, 4);
-        let mut e = Elman::new(4, ElmanConfig { seed: 4, ..Default::default() }).unwrap();
+        let mut e = Elman::new(
+            4,
+            ElmanConfig {
+                seed: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         e.train(&xs, &ys).unwrap();
         let w = [0.1, 0.2, 0.3, 0.4];
         let with_context = e.forecast(&w);
@@ -303,7 +316,14 @@ mod tests {
 
     #[test]
     fn step_is_stateful() {
-        let mut e = Elman::new(2, ElmanConfig { seed: 6, ..Default::default() }).unwrap();
+        let mut e = Elman::new(
+            2,
+            ElmanConfig {
+                seed: 6,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let w = [0.5, -0.5];
         let o1 = e.step(&w);
         let o2 = e.step(&w);

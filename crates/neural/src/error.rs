@@ -33,7 +33,10 @@ impl fmt::Display for NeuralError {
                 what,
                 expected,
                 actual,
-            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "shape mismatch in {what}: expected {expected}, got {actual}"
+            ),
             NeuralError::Diverged { epoch } => {
                 write!(f, "training diverged (non-finite loss) at epoch {epoch}")
             }
@@ -50,7 +53,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(NeuralError::InvalidConfig("lr".into()).to_string().contains("lr"));
+        assert!(NeuralError::InvalidConfig("lr".into())
+            .to_string()
+            .contains("lr"));
         let s = NeuralError::ShapeMismatch {
             what: "targets",
             expected: 10,

@@ -245,11 +245,20 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(Mlp::new(0, MlpConfig::default()).is_err());
-        let c = MlpConfig { hidden: 0, ..Default::default() };
+        let c = MlpConfig {
+            hidden: 0,
+            ..Default::default()
+        };
         assert!(Mlp::new(2, c).is_err());
-        let c = MlpConfig { learning_rate: -1.0, ..Default::default() };
+        let c = MlpConfig {
+            learning_rate: -1.0,
+            ..Default::default()
+        };
         assert!(Mlp::new(2, c).is_err());
-        let c = MlpConfig { momentum: 1.0, ..Default::default() };
+        let c = MlpConfig {
+            momentum: 1.0,
+            ..Default::default()
+        };
         assert!(Mlp::new(2, c).is_err());
     }
 
@@ -274,7 +283,9 @@ mod tests {
     fn learns_linear_function_quickly() {
         let n = 100;
         let xs = Matrix::from_fn(n, 2, |i, j| ((i * (j + 1)) as f64 * 0.37).sin());
-        let ys: Vec<f64> = (0..n).map(|i| 0.8 * xs[(i, 0)] - 0.3 * xs[(i, 1)] + 0.1).collect();
+        let ys: Vec<f64> = (0..n)
+            .map(|i| 0.8 * xs[(i, 0)] - 0.3 * xs[(i, 1)] + 0.1)
+            .collect();
         let mut m = Mlp::new(
             2,
             MlpConfig {
@@ -319,7 +330,14 @@ mod tests {
     #[test]
     fn training_loss_trends_down() {
         let (xs, ys) = xor_like_dataset();
-        let mut m = Mlp::new(2, MlpConfig { seed: 8, ..Default::default() }).unwrap();
+        let mut m = Mlp::new(
+            2,
+            MlpConfig {
+                seed: 8,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let losses = m.train(&xs, &ys).unwrap();
         let early: f64 = losses[..10].iter().sum::<f64>() / 10.0;
         let late: f64 = losses[losses.len() - 10..].iter().sum::<f64>() / 10.0;

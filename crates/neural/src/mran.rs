@@ -111,8 +111,7 @@ impl Mran {
             return None;
         }
         Some(
-            (self.recent_sq_errors.iter().sum::<f64>() / self.recent_sq_errors.len() as f64)
-                .sqrt(),
+            (self.recent_sq_errors.iter().sum::<f64>() / self.recent_sq_errors.len() as f64).sqrt(),
         )
     }
 
@@ -174,7 +173,10 @@ impl Mran {
             return;
         }
         debug_assert_eq!(self.low_contribution.len(), units.len());
-        let contributions: Vec<f64> = units.iter().map(|u| (u.weight * u.response(x)).abs()).collect();
+        let contributions: Vec<f64> = units
+            .iter()
+            .map(|u| (u.weight * u.response(x)).abs())
+            .collect();
         let max_c = contributions.iter().fold(0.0_f64, |m, &c| m.max(c));
         if max_c <= 0.0 {
             return;

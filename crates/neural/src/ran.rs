@@ -159,7 +159,11 @@ impl Ran {
         if novel_error && novel_input && self.units.len() < self.config.max_units {
             // Allocate: center at x, weight covers the error, width couples
             // to the distance of the nearest unit (or δ for the first).
-            let width_basis = if nearest.is_finite() { nearest } else { self.delta };
+            let width_basis = if nearest.is_finite() {
+                nearest
+            } else {
+                self.delta
+            };
             self.units.push(RbfUnit {
                 center: x.to_vec(),
                 width: (self.config.kappa * width_basis).max(1e-3),

@@ -82,7 +82,9 @@ impl RbfNetwork {
         seed: u64,
     ) -> Result<RbfNetwork, NeuralError> {
         if centers == 0 {
-            return Err(NeuralError::InvalidConfig("need at least one center".into()));
+            return Err(NeuralError::InvalidConfig(
+                "need at least one center".into(),
+            ));
         }
         if xs.rows() != ys.len() {
             return Err(NeuralError::ShapeMismatch {
@@ -104,10 +106,8 @@ impl RbfNetwork {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut idx: Vec<usize> = (0..xs.rows()).collect();
         idx.shuffle(&mut rng);
-        let center_vecs: Vec<Vec<f64>> = idx[..centers]
-            .iter()
-            .map(|&i| xs.row(i).to_vec())
-            .collect();
+        let center_vecs: Vec<Vec<f64>> =
+            idx[..centers].iter().map(|&i| xs.row(i).to_vec()).collect();
         Self::from_centers(xs, ys, center_vecs)
     }
 
@@ -123,7 +123,9 @@ impl RbfNetwork {
         center_vecs: Vec<Vec<f64>>,
     ) -> Result<RbfNetwork, NeuralError> {
         if center_vecs.is_empty() {
-            return Err(NeuralError::InvalidConfig("need at least one center".into()));
+            return Err(NeuralError::InvalidConfig(
+                "need at least one center".into(),
+            ));
         }
         let inputs = xs.cols();
 
@@ -138,7 +140,11 @@ impl RbfNetwork {
                     .filter(|&(j, _)| j != i)
                     .map(|(_, other)| vector::dist2_sq(c, other).sqrt())
                     .fold(f64::INFINITY, f64::min);
-                let w = if nearest.is_finite() { nearest * 1.5 } else { 1.0 };
+                let w = if nearest.is_finite() {
+                    nearest * 1.5
+                } else {
+                    1.0
+                };
                 w.max(1e-3)
             })
             .collect();

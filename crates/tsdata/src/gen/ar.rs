@@ -79,9 +79,7 @@ impl ArProcess {
             if self.noise_std > 0.0 {
                 let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
                 let u2: f64 = rng.gen::<f64>();
-                x += self.noise_std
-                    * (-2.0 * u1.ln()).sqrt()
-                    * (std::f64::consts::TAU * u2).cos();
+                x += self.noise_std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
             }
             // Shift history: newest at index 0.
             history.rotate_right(1);

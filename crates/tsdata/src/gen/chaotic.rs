@@ -155,7 +155,10 @@ mod tests {
 
     #[test]
     fn deterministic_outputs() {
-        assert_eq!(logistic(100, 3.9, 0.2).values(), logistic(100, 3.9, 0.2).values());
+        assert_eq!(
+            logistic(100, 3.9, 0.2).values(),
+            logistic(100, 3.9, 0.2).values()
+        );
         assert_eq!(henon_classic(100).values(), henon_classic(100).values());
         assert_eq!(
             lorenz_x(100, 0.01, 2).values(),

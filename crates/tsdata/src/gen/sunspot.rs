@@ -73,10 +73,10 @@ impl SunspotGenerator {
 
         // Current cycle parameters.
         let draw_cycle = |rng: &mut ChaCha8Rng| -> (f64, f64) {
-            let period = (self.mean_period_months + gaussian(rng) * self.period_std)
-                .clamp(90.0, 180.0);
-            let amplitude = (self.mean_amplitude + gaussian(rng) * self.amplitude_std)
-                .clamp(45.0, 260.0);
+            let period =
+                (self.mean_period_months + gaussian(rng) * self.period_std).clamp(90.0, 180.0);
+            let amplitude =
+                (self.mean_amplitude + gaussian(rng) * self.amplitude_std).clamp(45.0, 260.0);
             (period, amplitude)
         };
 
@@ -174,7 +174,10 @@ mod tests {
             ac_cycle > ac_half,
             "cycle ac {ac_cycle} not above half-cycle ac {ac_half}"
         );
-        assert!(ac_half < 0.2, "half-cycle should be near troughs: {ac_half}");
+        assert!(
+            ac_half < 0.2,
+            "half-cycle should be near troughs: {ac_half}"
+        );
     }
 
     #[test]

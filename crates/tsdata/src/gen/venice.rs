@@ -63,12 +63,36 @@ impl Default for VeniceTide {
             constituents: vec![
                 // Principal lunar/solar semidiurnal and diurnal constituents
                 // with Venice-like amplitudes (cm) and standard periods (h).
-                Constituent { amplitude: 23.0, period: 12.4206, phase: 0.00 }, // M2
-                Constituent { amplitude: 14.0, period: 12.0000, phase: 0.70 }, // S2
-                Constituent { amplitude: 4.0, period: 12.6583, phase: 1.30 },  // N2
-                Constituent { amplitude: 16.0, period: 23.9345, phase: 2.10 }, // K1
-                Constituent { amplitude: 5.0, period: 25.8193, phase: 0.40 },  // O1
-                Constituent { amplitude: 5.0, period: 24.0659, phase: 2.90 },  // P1
+                Constituent {
+                    amplitude: 23.0,
+                    period: 12.4206,
+                    phase: 0.00,
+                }, // M2
+                Constituent {
+                    amplitude: 14.0,
+                    period: 12.0000,
+                    phase: 0.70,
+                }, // S2
+                Constituent {
+                    amplitude: 4.0,
+                    period: 12.6583,
+                    phase: 1.30,
+                }, // N2
+                Constituent {
+                    amplitude: 16.0,
+                    period: 23.9345,
+                    phase: 2.10,
+                }, // K1
+                Constituent {
+                    amplitude: 5.0,
+                    period: 25.8193,
+                    phase: 0.40,
+                }, // O1
+                Constituent {
+                    amplitude: 5.0,
+                    period: 24.0659,
+                    phase: 2.90,
+                }, // P1
             ],
             seasonal_amplitude: 8.0,
             // Roots 0.86 and 0.64: smooth surge that decays over ~1-2 days.

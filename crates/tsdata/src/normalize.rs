@@ -205,7 +205,10 @@ mod tests {
 
     #[test]
     fn minmax_rejects_degenerate() {
-        assert!(matches!(MinMaxScaler::fit(&[]), Err(DataError::EmptySeries)));
+        assert!(matches!(
+            MinMaxScaler::fit(&[]),
+            Err(DataError::EmptySeries)
+        ));
         assert!(matches!(
             MinMaxScaler::fit(&[3.0, 3.0, 3.0]),
             Err(DataError::DegenerateRange)
@@ -225,7 +228,10 @@ mod tests {
             ZScoreScaler::fit(&[5.0, 5.0]),
             Err(DataError::DegenerateRange)
         ));
-        assert!(matches!(ZScoreScaler::fit(&[]), Err(DataError::EmptySeries)));
+        assert!(matches!(
+            ZScoreScaler::fit(&[]),
+            Err(DataError::EmptySeries)
+        ));
     }
 
     #[test]

@@ -78,10 +78,8 @@ pub fn split_ranges(
     train: (usize, usize),
     valid: (usize, usize),
 ) -> Result<(&[f64], &[f64]), DataError> {
-    let ok = train.0 < train.1
-        && valid.0 < valid.1
-        && train.1 <= valid.0
-        && valid.1 <= values.len();
+    let ok =
+        train.0 < train.1 && valid.0 < valid.1 && train.1 <= valid.0 && valid.1 <= values.len();
     if !ok {
         return Err(DataError::InvalidParameter(format!(
             "ranges train={train:?} valid={valid:?} invalid for len {}",
@@ -109,7 +107,11 @@ pub struct RollingFold {
 /// # Errors
 /// [`DataError::InvalidParameter`] when the parameters don't produce at
 /// least one fold.
-pub fn rolling_origin(n: usize, initial: usize, step: usize) -> Result<Vec<RollingFold>, DataError> {
+pub fn rolling_origin(
+    n: usize,
+    initial: usize,
+    step: usize,
+) -> Result<Vec<RollingFold>, DataError> {
     if initial == 0 || step == 0 {
         return Err(DataError::InvalidParameter(
             "rolling origin needs initial >= 1 and step >= 1".into(),
@@ -206,9 +208,18 @@ mod tests {
         assert_eq!(
             folds,
             vec![
-                RollingFold { train_end: 40, valid_end: 60 },
-                RollingFold { train_end: 60, valid_end: 80 },
-                RollingFold { train_end: 80, valid_end: 100 },
+                RollingFold {
+                    train_end: 40,
+                    valid_end: 60
+                },
+                RollingFold {
+                    train_end: 60,
+                    valid_end: 80
+                },
+                RollingFold {
+                    train_end: 80,
+                    valid_end: 100
+                },
             ]
         );
     }

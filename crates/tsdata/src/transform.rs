@@ -67,7 +67,9 @@ pub fn moving_average(series: &TimeSeries, window: usize) -> Result<TimeSeries, 
 /// [`DataError::InvalidParameter`] when `factor` is zero.
 pub fn decimate(series: &TimeSeries, factor: usize) -> Result<TimeSeries, DataError> {
     if factor == 0 {
-        return Err(DataError::InvalidParameter("decimation factor must be >= 1".into()));
+        return Err(DataError::InvalidParameter(
+            "decimation factor must be >= 1".into(),
+        ));
     }
     let out: Vec<f64> = series.values().iter().step_by(factor).copied().collect();
     TimeSeries::new(format!("{}~dec{factor}", series.name()), out)

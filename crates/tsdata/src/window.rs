@@ -60,7 +60,9 @@ impl WindowSpec {
     /// [`DataError::InvalidParameter`] when any parameter is zero.
     pub fn with_spacing(window: usize, horizon: usize, spacing: usize) -> Result<Self, DataError> {
         if window == 0 {
-            return Err(DataError::InvalidParameter("window length D must be >= 1".into()));
+            return Err(DataError::InvalidParameter(
+                "window length D must be >= 1".into(),
+            ));
         }
         if horizon == 0 {
             return Err(DataError::InvalidParameter(
@@ -68,7 +70,9 @@ impl WindowSpec {
             ));
         }
         if spacing == 0 {
-            return Err(DataError::InvalidParameter("tap spacing Δ must be >= 1".into()));
+            return Err(DataError::InvalidParameter(
+                "tap spacing Δ must be >= 1".into(),
+            ));
         }
         Ok(WindowSpec {
             window,
@@ -261,7 +265,10 @@ mod tests {
     fn strided_windows_pick_spaced_taps() {
         let vals = ramp(30);
         // D=4, Δ=3, τ=2: window 0 = [0, 3, 6, 9], target = x_{9+2} = 11.
-        let ds = WindowSpec::with_spacing(4, 2, 3).unwrap().dataset(&vals).unwrap();
+        let ds = WindowSpec::with_spacing(4, 2, 3)
+            .unwrap()
+            .dataset(&vals)
+            .unwrap();
         assert_eq!(ds.window(0), &[0.0, 3.0, 6.0, 9.0]);
         assert_eq!(ds.target(0), 11.0);
         assert_eq!(ds.window(5), &[5.0, 8.0, 11.0, 14.0]);
@@ -273,7 +280,10 @@ mod tests {
     fn spacing_one_matches_contiguous_path() {
         let vals = ramp(20);
         let contiguous = WindowSpec::new(4, 3).unwrap().dataset(&vals).unwrap();
-        let spaced = WindowSpec::with_spacing(4, 3, 1).unwrap().dataset(&vals).unwrap();
+        let spaced = WindowSpec::with_spacing(4, 3, 1)
+            .unwrap()
+            .dataset(&vals)
+            .unwrap();
         assert_eq!(contiguous.len(), spaced.len());
         for i in 0..contiguous.len() {
             assert_eq!(contiguous.window(i), spaced.window(i));

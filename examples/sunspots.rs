@@ -17,13 +17,16 @@ fn main() {
     println!("Synthetic monthly sunspot record, train 1749–1919, validate 1929–1977\n");
 
     let series = SunspotGenerator::default().paper_series(1749);
-    let scaler = MinMaxScaler::fit(&series.values()[..SunspotGenerator::TRAIN_MONTHS])
-        .expect("has range");
+    let scaler =
+        MinMaxScaler::fit(&series.values()[..SunspotGenerator::TRAIN_MONTHS]).expect("has range");
     let normalized = scaler.transform_slice(series.values());
     let train = &normalized[..SunspotGenerator::TRAIN_MONTHS];
     let valid = &normalized[SunspotGenerator::VALID_START..];
 
-    println!("{:>8} {:>10} {:>12} {:>10} {:>8}", "horizon", "coverage%", "half-MSE", "rmse", "rules");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10} {:>8}",
+        "horizon", "coverage%", "half-MSE", "rmse", "rules"
+    );
     for horizon in [1usize, 4, 8, 12, 18] {
         let spec = WindowSpec::new(D, horizon).expect("valid spec");
         let engine_cfg = EngineConfig::for_series(train, spec)

@@ -34,9 +34,7 @@ fn train_system(train: &[f64], seed: u64, emax_fraction: f64) -> RuleSetPredicto
 }
 
 fn main() {
-    println!(
-        "Venice, τ = {HORIZON} h: forecasting the raw level vs forecasting the residual\n"
-    );
+    println!("Venice, τ = {HORIZON} h: forecasting the raw level vs forecasting the residual\n");
     let tide = VeniceTide::default();
     let record = tide.generate_decomposed(TOTAL, 2035);
     let spec = WindowSpec::new(D, HORIZON).unwrap();

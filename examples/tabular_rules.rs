@@ -81,10 +81,17 @@ fn main() {
             per_regime[regime].1 += 1;
         }
     }
-    println!("\n{:<22} {:>10} {:>12}", "regime", "coverage%", "mean |err|");
-    for (name, (abs_sum, predicted, total)) in ["x0 < 3 (plane)", "3 <= x0 < 7 (plane)", "x0 >= 7 (steep, rare)"]
-        .iter()
-        .zip(per_regime)
+    println!(
+        "\n{:<22} {:>10} {:>12}",
+        "regime", "coverage%", "mean |err|"
+    );
+    for (name, (abs_sum, predicted, total)) in [
+        "x0 < 3 (plane)",
+        "3 <= x0 < 7 (plane)",
+        "x0 >= 7 (steep, rare)",
+    ]
+    .iter()
+    .zip(per_regime)
     {
         let cov = 100.0 * predicted as f64 / total as f64;
         let mae = if predicted > 0 {

@@ -21,8 +21,8 @@ fn main() {
     println!("Venice lagoon water level, τ = {HORIZON} h ahead from {D} hourly inputs\n");
 
     let series = VeniceTide::default().generate(8_000, 2035);
-    let (train, valid) = evoforecast::tsdata::split::split_at(series.values(), 6_000)
-        .expect("series splits");
+    let (train, valid) =
+        evoforecast::tsdata::split::split_at(series.values(), 6_000).expect("series splits");
     let spec = WindowSpec::new(D, HORIZON).expect("valid spec");
 
     // --- the paper's rule system (ensemble of executions) ------------------

@@ -74,7 +74,11 @@ fn mackey_glass_rules_and_baselines_all_beat_mean_predictor() {
     .unwrap();
     ran.train(&ds.design_matrix(), &ds.targets()).unwrap();
     let ran_pairs = forecaster_pairs(&ran, test, spec);
-    assert!(ran_pairs.nmse().unwrap() < 1.0, "RAN NMSE {}", ran_pairs.nmse().unwrap());
+    assert!(
+        ran_pairs.nmse().unwrap() < 1.0,
+        "RAN NMSE {}",
+        ran_pairs.nmse().unwrap()
+    );
 }
 
 #[test]

@@ -57,7 +57,10 @@ fn rule_system_beats_every_naive_baseline_on_periodic_data() {
     let drift = rmse_of(&Drift::new(5).unwrap(), valid, spec);
     let seasonal = rmse_of(&SeasonalNaive::new(20, 5).unwrap(), valid, spec);
 
-    assert!(rs < persistence, "RS {rs:.4} vs persistence {persistence:.4}");
+    assert!(
+        rs < persistence,
+        "RS {rs:.4} vs persistence {persistence:.4}"
+    );
     assert!(rs < drift, "RS {rs:.4} vs drift {drift:.4}");
     assert!(rs < seasonal, "RS {rs:.4} vs seasonal-naive {seasonal:.4}");
 }
@@ -110,7 +113,13 @@ fn gap_filled_record_trains_end_to_end() {
     let record: Vec<Option<f64>> = series
         .values()
         .iter()
-        .map(|&v| if rng.gen::<f64>() < 0.1 { None } else { Some(v) })
+        .map(|&v| {
+            if rng.gen::<f64>() < 0.1 {
+                None
+            } else {
+                Some(v)
+            }
+        })
         .collect();
     let stats = gap_stats(&record);
     assert!(stats.missing_fraction() > 0.05 && stats.missing_fraction() < 0.15);
@@ -191,5 +200,8 @@ fn spectral_pipeline_sanity() {
     }
     let rs = pairs.rmse().unwrap();
     let base = rmse_of(&Persistence, valid, spec);
-    assert!(rs < base, "RS {rs:.2} cm vs persistence {base:.2} cm at τ=6");
+    assert!(
+        rs < base,
+        "RS {rs:.2} cm vs persistence {base:.2} cm at τ=6"
+    );
 }

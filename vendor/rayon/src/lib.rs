@@ -278,7 +278,11 @@ mod tests {
     #[test]
     fn slice_par_iter_enumerate_map() {
         let data: Vec<i32> = (0..1_000).map(|i| i * 3).collect();
-        let par: Vec<(usize, i32)> = data.par_iter().enumerate().map(|(i, &v)| (i, v + 1)).collect();
+        let par: Vec<(usize, i32)> = data
+            .par_iter()
+            .enumerate()
+            .map(|(i, &v)| (i, v + 1))
+            .collect();
         for (i, v) in par {
             assert_eq!(v, data[i] + 1);
         }

@@ -105,7 +105,9 @@ fn parse_item(input: TokenStream) -> Item {
                 ItemKind::Struct(parse_fields(g.stream()))
             }
             Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
-            _ => panic!("serde_derive shim: struct `{name}` must have named fields or be a unit struct"),
+            _ => panic!(
+                "serde_derive shim: struct `{name}` must have named fields or be a unit struct"
+            ),
         },
         "enum" => match toks.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
@@ -338,7 +340,8 @@ fn gen_serialize(item: &Item) -> String {
     let body = match &item.kind {
         ItemKind::UnitStruct => format!("{VALUE}::Null"),
         ItemKind::Struct(fields) => {
-            let mut code = String::from("{ let mut __obj: ::std::vec::Vec<(::std::string::String, ");
+            let mut code =
+                String::from("{ let mut __obj: ::std::vec::Vec<(::std::string::String, ");
             code.push_str(VALUE);
             code.push_str(")> = ::std::vec::Vec::new();\n");
             for f in fields {
@@ -370,8 +373,7 @@ fn gen_serialize(item: &Item) -> String {
                         ));
                     }
                     (Some(fields), tag) => {
-                        let bindings: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let bindings: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let pat = bindings.join(", ");
                         let mut arm = format!("{name}::{} {{ {pat} }} => {{\n", v.name);
                         arm.push_str("let mut __obj: ::std::vec::Vec<(::std::string::String, ");
@@ -416,7 +418,12 @@ fn gen_serialize(item: &Item) -> String {
 
 /// Emit `let __f_<name> = ...;` bindings reading `fields` out of the object
 /// entries bound to `__entries`, then the struct-literal field list.
-fn gen_read_fields(type_path: &str, fields: &[Field], rename_all: Option<&str>, is_struct: bool) -> (String, String) {
+fn gen_read_fields(
+    type_path: &str,
+    fields: &[Field],
+    rename_all: Option<&str>,
+    is_struct: bool,
+) -> (String, String) {
     let mut reads = String::new();
     let mut literal = String::new();
     for f in fields {

@@ -81,7 +81,10 @@ mod tests {
         assert_eq!(to_string(&-0.5f64).unwrap(), "-0.5");
         // Huge magnitudes print in full decimal (Rust Display), but must
         // still re-parse as the same float.
-        assert_eq!(from_str::<f64>(&to_string(&1e300f64).unwrap()).unwrap(), 1e300);
+        assert_eq!(
+            from_str::<f64>(&to_string(&1e300f64).unwrap()).unwrap(),
+            1e300
+        );
     }
 
     #[test]
@@ -96,7 +99,13 @@ mod tests {
 
     #[test]
     fn float_round_trip_is_exact() {
-        for &x in &[0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, -2.2250738585072014e-308] {
+        for &x in &[
+            0.1,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            1e308,
+            -2.2250738585072014e-308,
+        ] {
             let s = to_string(&x).unwrap();
             assert_eq!(from_str::<f64>(&s).unwrap(), x, "through {s}");
         }

@@ -225,8 +225,8 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("number bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
         if !is_float {
             // Keep the lexical integer class; overflowing integers fall
             // back to f64 like serde_json's arbitrary-precision-off mode.
