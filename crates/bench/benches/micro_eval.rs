@@ -13,14 +13,29 @@
 //! * `fused_single_pass` / `fused_with_index` — the new kernel behind
 //!   `Engine::step`, which never materializes the design.
 //!
+//! **P2** — Delta re-evaluation of offspring against the fused kernel, on a
+//! *selective* evolved-style condition (the common case once the population
+//! has specialized). Offspring are never evaluated from scratch by the
+//! engine any more: crossover copies per-gene match bitsets from the donor
+//! parent and mutation recomputes only the mutated gene's bitset, so the
+//! comparators here measure exactly what `Engine::step` now pays:
+//! * `delta_mutation` — recompute the one mutated (most selective) gene's
+//!   bitset by a columnar sweep, copy the other `D−1` gene bitsets from the
+//!   donor, AND in ascending-selectivity order, rebuild Gram/Xᵀy over the
+//!   set bits.
+//! * `bitset_and_crossover` — the mutation-free offspring: copy all `D`
+//!   gene bitsets from the two parents, AND, refit.
+//!
 //! Run: `cargo bench -p evoforecast-bench --bench micro_eval`
-//! The measured numbers behind the PR claim live in `BENCH_PR1.json`.
+//! The measured numbers behind the PR claims live in `BENCH_PR1.json`
+//! (broad group) and `BENCH_PR2.json` (selective group).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use evoforecast_core::dataset;
 use evoforecast_core::matchindex::MatchIndex;
 use evoforecast_core::regress;
 use evoforecast_core::rule::{Condition, Gene};
-use evoforecast_core::{parallel, MatchBitset};
+use evoforecast_core::{parallel, ColumnStore, ExampleSet, GeneBitsets, MatchBitset};
 use evoforecast_linalg::regression::{NormalEqAccumulator, RegressionOptions};
 use evoforecast_tsdata::gen::venice::VeniceTide;
 use evoforecast_tsdata::window::{WindowSpec, WindowedDataset};
@@ -52,6 +67,44 @@ fn broad_condition() -> Condition {
         })
         .collect();
     Condition::new(genes)
+}
+
+/// Matched-set size the selective condition is tuned for: a specialized
+/// rule late in a run covers ~1% of the 45k training windows (crowding
+/// replacement drives the population toward such niches).
+const K_TARGET: usize = 500;
+
+/// A selective evolved-style condition: the broad genes above plus one
+/// narrow interval on the *last* tap, chosen from the sorted column so it
+/// admits ~[`K_TARGET`] windows. Placing the selective gene last is the
+/// worst case for the fused row-scan (it short-circuits on the first
+/// failing gene, so here it pays nearly the full `O(N·D)` match) and the
+/// common case for delta evaluation (one `O(N)` column sweep + `N·D/64`
+/// AND words).
+fn selective_condition(ds: &impl ExampleSet) -> Condition {
+    let col = ds.column(D - 1).expect("spacing-1 windows expose columns");
+    let mut sorted = col.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let start = (sorted.len() - K_TARGET) / 2;
+    let (lo, hi) = (sorted[start], sorted[start + K_TARGET - 1]);
+    let mut genes = broad_condition().genes().to_vec();
+    genes[D - 1] = Gene::bounded(lo, hi);
+    Condition::new(genes)
+}
+
+/// Per-gene match bitsets for `cond` — what every individual in the
+/// population now carries alongside its full match set.
+fn gene_sets_for(cond: &Condition, ds: &impl ExampleSet, columns: &ColumnStore) -> GeneBitsets {
+    let mut gs = GeneBitsets::new(cond.len(), ds.len());
+    for (g, gene) in cond.genes().iter().enumerate() {
+        match *gene {
+            Gene::Wildcard => gs.set_wildcard(g),
+            Gene::Bounded { lo, hi } => gs.recompute_with(g, |bits| {
+                dataset::fill_gene_bitset(columns.column(ds, g), lo, hi, bits)
+            }),
+        }
+    }
+    gs
 }
 
 fn fused(
@@ -120,5 +173,90 @@ fn bench_eval(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_eval);
+fn bench_delta(c: &mut Criterion) {
+    let values = series();
+    let ds = WindowSpec::new(D, TAU).unwrap().dataset(&values).unwrap();
+    let cond = selective_condition(&ds);
+    let opts = RegressionOptions::fast();
+    let columns = ColumnStore::build(&ds);
+    let (sel_lo, sel_hi) = match cond.genes()[D - 1] {
+        Gene::Bounded { lo, hi } => (lo, hi),
+        Gene::Wildcard => unreachable!("last gene is the selective interval"),
+    };
+    eprintln!(
+        "cores: {}",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+
+    // The two parents an offspring copies its gene bitsets from. Identical
+    // content so every comparator yields the same matched set (apples to
+    // apples with the fused kernel below), but two distinct allocations so
+    // crossover's copy traffic touches both parents as in `Engine::step`.
+    let parent_a = gene_sets_for(&cond, &ds, &columns);
+    let parent_b = gene_sets_for(&cond, &ds, &columns);
+    let mut scratch = GeneBitsets::new(D, ds.len());
+    let mut full = MatchBitset::new(ds.len());
+
+    // Sanity before measuring: the delta path (copy D−1 genes, recompute the
+    // mutated one, AND, rebuild Gram/Xᵀy over set bits) is bit-identical to
+    // the fused from-scratch kernel — same matched set, same coefficients,
+    // same e_R, not merely within tolerance.
+    let (bits, acc, model) = fused(&cond, &ds, opts);
+    let k = acc.count();
+    assert!(
+        (300..=1_000).contains(&k),
+        "selective condition should match ~{K_TARGET} windows, got {k}"
+    );
+    for g in 0..D - 1 {
+        scratch.copy_gene_from(g, &parent_a);
+    }
+    scratch.recompute_with(D - 1, |out| {
+        dataset::fill_gene_bitset(columns.column(&ds, D - 1), sel_lo, sel_hi, out)
+    });
+    scratch.intersect_into(&mut full);
+    assert_eq!(full, bits, "delta match set must equal the fused scan");
+    let (count, delta_model) = regress::fit_via_bitset(&full, &ds, opts, usize::MAX);
+    assert_eq!(count, k);
+    let (m, d) = (model.unwrap(), delta_model.unwrap());
+    assert_eq!(m.coefficients, d.coefficients);
+    assert_eq!(m.intercept, d.intercept);
+    assert_eq!(m.error, d.error);
+
+    let mut g = c.benchmark_group(format!("delta_venice_{k}_matched"));
+    g.sample_size(10);
+
+    g.bench_function("fused_single_pass", |b| {
+        b.iter(|| black_box(fused(black_box(&cond), &ds, opts)))
+    });
+    g.bench_function("delta_mutation", |b| {
+        b.iter(|| {
+            for gi in 0..D - 1 {
+                scratch.copy_gene_from(gi, black_box(&parent_a));
+            }
+            scratch.recompute_with(D - 1, |out| {
+                dataset::fill_gene_bitset(
+                    columns.column(&ds, D - 1),
+                    black_box(sel_lo),
+                    black_box(sel_hi),
+                    out,
+                )
+            });
+            scratch.intersect_into(&mut full);
+            black_box(regress::fit_via_bitset(&full, &ds, opts, usize::MAX))
+        })
+    });
+    g.bench_function("bitset_and_crossover", |b| {
+        b.iter(|| {
+            for gi in 0..D {
+                let donor = if gi % 2 == 0 { &parent_a } else { &parent_b };
+                scratch.copy_gene_from(gi, black_box(donor));
+            }
+            scratch.intersect_into(&mut full);
+            black_box(regress::fit_via_bitset(&full, &ds, opts, usize::MAX))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_eval, bench_delta);
 criterion_main!(benches);

@@ -81,6 +81,49 @@ impl MatchBitset {
         }
     }
 
+    /// Remove every member — `O(N/64)`, no allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Make every window a member (tail bits past the universe stay zero).
+    pub fn fill_all(&mut self) {
+        self.words.fill(u64::MAX);
+        if let Some(last) = self.words.last_mut() {
+            let tail = self.len % 64;
+            if tail != 0 {
+                *last = (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Overwrite `self` with `other`'s members, reusing the existing word
+    /// buffer (unlike `clone`, no allocation).
+    ///
+    /// # Panics
+    /// Panics when the universes differ.
+    pub fn copy_from(&mut self, other: &MatchBitset) {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
+    /// Intersect `other` into `self` — `O(N/64)` word ANDs. Returns `false`
+    /// when the intersection came out empty, so multi-way ANDs (per-gene
+    /// match sets, most selective first) can stop as soon as the running
+    /// result dies.
+    ///
+    /// # Panics
+    /// Panics when the universes differ.
+    pub fn intersect_with(&mut self, other: &MatchBitset) -> bool {
+        assert_eq!(self.len, other.len, "bitset universe mismatch");
+        let mut any = 0u64;
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+            any |= *w;
+        }
+        any != 0
+    }
+
     /// True when every member of `self` is a member of `other` — `O(N/64)`.
     ///
     /// # Panics
@@ -141,6 +184,16 @@ impl MatchBitset {
     pub(crate) fn splice_words(&mut self, word_offset: usize, words: &[u64]) {
         self.words[word_offset..word_offset + words.len()].copy_from_slice(words);
     }
+
+    /// Raw word view (for the chunked accumulation kernels).
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable raw word view (for the columnar gene-bitset fill).
+    pub(crate) fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +242,34 @@ mod tests {
         assert!(b.is_subset_of(&u));
         assert!(!u.is_subset_of(&a));
         assert!(MatchBitset::new(200).is_subset_of(&a));
+    }
+
+    #[test]
+    fn clear_copy_and_fill_all() {
+        let mut s = MatchBitset::from_indices(130, &[0, 64, 129]);
+        s.clear();
+        assert_eq!(s.count_ones(), 0);
+        s.fill_all();
+        assert!(s.all_set());
+        assert_eq!(s.count_ones(), 130);
+        let src = MatchBitset::from_indices(130, &[5, 70]);
+        s.copy_from(&src);
+        assert_eq!(s, src);
+        // Word-aligned universe: fill_all must not overshoot.
+        let mut t = MatchBitset::new(128);
+        t.fill_all();
+        assert_eq!(t.count_ones(), 128);
+    }
+
+    #[test]
+    fn intersect_with_reports_emptiness() {
+        let mut a = MatchBitset::from_indices(200, &[1, 65, 150]);
+        let b = MatchBitset::from_indices(200, &[65, 150, 199]);
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.to_indices(), vec![65, 150]);
+        let disjoint = MatchBitset::from_indices(200, &[0, 2]);
+        assert!(!a.intersect_with(&disjoint));
+        assert_eq!(a.count_ones(), 0);
     }
 
     #[test]

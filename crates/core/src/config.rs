@@ -94,6 +94,14 @@ pub struct EngineConfig {
     /// the plain scan.
     #[serde(default = "default_true")]
     pub use_match_index: bool,
+    /// Evaluate offspring by delta re-evaluation: carry one match bitset per
+    /// bounded gene, copy unchanged genes' bitsets from the donor parent at
+    /// crossover, recompute only mutated genes, and AND the per-gene sets
+    /// (most selective first) into the full match set. Bit-identical to a
+    /// from-scratch evaluation — a fixed seed produces the exact same rules
+    /// either way.
+    #[serde(default = "default_true")]
+    pub use_delta_eval: bool,
 }
 
 fn default_true() -> bool {
@@ -123,6 +131,7 @@ impl EngineConfig {
             value_range: (lo, hi),
             parallel_threshold: 8_192,
             use_match_index: true,
+            use_delta_eval: true,
         }
     }
 
@@ -151,6 +160,7 @@ impl EngineConfig {
             value_range,
             parallel_threshold: 8_192,
             use_match_index: true,
+            use_delta_eval: true,
         }
     }
 

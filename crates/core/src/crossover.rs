@@ -14,16 +14,43 @@ use rand::Rng;
 /// Panics when the parents have different window lengths — impossible within
 /// one run, so this is an internal invariant.
 pub fn uniform<R: Rng>(a: &Condition, b: &Condition, rng: &mut R) -> Condition {
+    let mut from_a = Vec::new();
+    uniform_into(a, b, rng, &mut from_a)
+}
+
+/// [`uniform`], additionally recording each gene's provenance into `from_a`
+/// (`true` = inherited from parent `a`). The delta evaluation path uses the
+/// provenance to copy the donor parent's per-gene match bitset instead of
+/// rescanning the data. Draws exactly the same RNG sequence as [`uniform`],
+/// so the two are interchangeable without perturbing a seeded run.
+///
+/// # Panics
+/// Panics when the parents have different window lengths.
+pub fn uniform_into<R: Rng>(
+    a: &Condition,
+    b: &Condition,
+    rng: &mut R,
+    from_a: &mut Vec<bool>,
+) -> Condition {
     assert_eq!(
         a.len(),
         b.len(),
         "crossover requires equal-length conditions"
     );
+    from_a.clear();
     let genes: Vec<Gene> = a
         .genes()
         .iter()
         .zip(b.genes().iter())
-        .map(|(&ga, &gb)| if rng.gen::<bool>() { ga } else { gb })
+        .map(|(&ga, &gb)| {
+            let take_a = rng.gen::<bool>();
+            from_a.push(take_a);
+            if take_a {
+                ga
+            } else {
+                gb
+            }
+        })
         .collect();
     Condition::new(genes)
 }
@@ -98,6 +125,30 @@ mod tests {
             (0.42..0.58).contains(&frac_a),
             "inheritance should be ~50/50, got {frac_a}"
         );
+    }
+
+    #[test]
+    fn provenance_names_the_actual_donor() {
+        let (a, b) = (parent_a(), parent_b());
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let mut from_a = Vec::new();
+        for _ in 0..50 {
+            let child = uniform_into(&a, &b, &mut rng, &mut from_a);
+            assert_eq!(from_a.len(), a.len());
+            for (i, (&donor_a, g)) in from_a.iter().zip(child.genes()).enumerate() {
+                let donor = if donor_a { a.genes()[i] } else { b.genes()[i] };
+                assert_eq!(*g, donor, "gene {i} disagrees with its provenance");
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_and_untracked_draw_the_same_rng_sequence() {
+        let (a, b) = (parent_a(), parent_b());
+        let plain = uniform(&a, &b, &mut ChaCha8Rng::seed_from_u64(13));
+        let mut from_a = Vec::new();
+        let tracked = uniform_into(&a, &b, &mut ChaCha8Rng::seed_from_u64(13), &mut from_a);
+        assert_eq!(plain, tracked);
     }
 
     #[test]

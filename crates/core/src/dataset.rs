@@ -8,6 +8,7 @@
 //! trait), arbitrary tabular regression data ([`TabularExamples`]) is
 //! another.
 
+use crate::bitset::MatchBitset;
 use crate::error::EvoError;
 use evoforecast_linalg::Matrix;
 use evoforecast_tsdata::window::WindowedDataset;
@@ -31,6 +32,16 @@ pub trait ExampleSet: Sync {
     /// True when there are no examples.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Borrow feature position `p` as a contiguous column (structure-of-
+    /// arrays view): `column(p)[i] == features(i)[p]`. Implementations
+    /// whose storage is not columnar return `None` and callers fall back to
+    /// [`ColumnStore`], which materializes the columns once. Contiguous
+    /// windowed series are zero-copy here — column `p` is just the series
+    /// shifted by `p` — and [`TabularExamples`] stores columns explicitly.
+    fn column(&self, _p: usize) -> Option<&[f64]> {
+        None
     }
 
     /// Min/max over all feature values — drives mutation step sizes and the
@@ -70,13 +81,35 @@ impl ExampleSet for WindowedDataset<'_> {
     fn target(&self, i: usize) -> f64 {
         WindowedDataset::target(self, i)
     }
+
+    fn column(&self, p: usize) -> Option<&[f64]> {
+        // Consecutive-tap windows overlap, so position p of every window is
+        // the raw series shifted by p — a zero-copy column. Strided windows
+        // (Δ > 1) are materialized row-major; let ColumnStore transpose.
+        if self.spec().spacing() == 1 {
+            let n = WindowedDataset::len(self);
+            Some(&self.raw_values()[p..p + n])
+        } else {
+            None
+        }
+    }
 }
 
-/// Owned tabular regression examples: a dense feature matrix plus targets.
+/// Owned tabular regression examples: a dense feature matrix plus targets,
+/// with a structure-of-arrays column copy and per-column min/max memoized at
+/// construction (the columnar match kernels read the columns; the memoized
+/// ranges make [`ExampleSet::feature_range`] `O(D)` instead of `O(N·D)`).
 #[derive(Debug, Clone, PartialEq)]
 pub struct TabularExamples {
     features: Matrix,
     targets: Vec<f64>,
+    /// `columns[p][i] == features.row(i)[p]` — SoA mirror of `features`.
+    columns: Vec<Vec<f64>>,
+    /// Per-column `(min, max)`, computed during the SoA build pass.
+    column_ranges: Vec<(f64, f64)>,
+    /// Memoized overall feature range, widened when degenerate exactly as
+    /// the trait default would widen it.
+    range: (f64, f64),
 }
 
 impl TabularExamples {
@@ -103,7 +136,41 @@ impl TabularExamples {
                 "tabular examples must be finite".into(),
             ));
         }
-        Ok(TabularExamples { features, targets })
+        let (n, d) = (features.rows(), features.cols());
+        let mut columns = vec![Vec::with_capacity(n); d];
+        let mut column_ranges = vec![(f64::INFINITY, f64::NEG_INFINITY); d];
+        for i in 0..n {
+            let row = features.row(i);
+            for (p, &x) in row.iter().enumerate() {
+                columns[p].push(x);
+                let (lo, hi) = column_ranges[p];
+                column_ranges[p] = (lo.min(x), hi.max(x));
+            }
+        }
+        let (lo, hi) = column_ranges
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &(lo, hi)| {
+                (a.min(lo), b.max(hi))
+            });
+        // Same degenerate-range widening as the ExampleSet trait default.
+        let range = if lo >= hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            (lo, hi)
+        };
+        Ok(TabularExamples {
+            features,
+            targets,
+            columns,
+            column_ranges,
+            range,
+        })
+    }
+
+    /// Per-column `(min, max)`, memoized at construction — init binning and
+    /// the mutation step sizing reuse these instead of rescanning.
+    pub fn column_ranges(&self) -> &[(f64, f64)] {
+        &self.column_ranges
     }
 
     /// Min/max of the targets (used to size `EMAX` and initializer bins).
@@ -143,6 +210,69 @@ impl ExampleSet for TabularExamples {
 
     fn target(&self, i: usize) -> f64 {
         self.targets[i]
+    }
+
+    fn column(&self, p: usize) -> Option<&[f64]> {
+        Some(&self.columns[p])
+    }
+
+    fn feature_range(&self) -> (f64, f64) {
+        self.range
+    }
+}
+
+/// Owned columnar fallback for example sets whose storage cannot expose
+/// columns directly (e.g. strided delay-embedding windows). Built once per
+/// engine run; [`ColumnStore::column`] prefers the dataset's native column
+/// and only reads the transposed copy when there is none.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStore {
+    owned: Vec<Vec<f64>>,
+}
+
+impl ColumnStore {
+    /// Probe `data` for native columns; transpose into owned storage only
+    /// when some position lacks one. `O(N·D)` in the fallback case, `O(D)`
+    /// otherwise.
+    pub fn build<E: ExampleSet>(data: &E) -> ColumnStore {
+        let d = data.feature_len();
+        if (0..d).all(|p| data.column(p).is_some()) {
+            return ColumnStore { owned: Vec::new() };
+        }
+        let n = data.len();
+        let mut owned = vec![Vec::with_capacity(n); d];
+        for i in 0..n {
+            for (p, &x) in data.features(i).iter().enumerate() {
+                owned[p].push(x);
+            }
+        }
+        ColumnStore { owned }
+    }
+
+    /// Column `p`: the dataset's native column when it has one, else the
+    /// transposed copy.
+    pub fn column<'a, E: ExampleSet>(&'a self, data: &'a E, p: usize) -> &'a [f64] {
+        data.column(p).unwrap_or_else(|| &self.owned[p])
+    }
+}
+
+/// Columnar single-gene match sweep: set bit `i` of `out` exactly when
+/// `column[i] ∈ [lo, hi]` — the same predicate as
+/// [`crate::rule::Gene::accepts`], evaluated branch-free over one cache-
+/// friendly column instead of striding across rows. `O(N)` compares and
+/// `N/64` word stores; this is the delta path's gene-recompute kernel.
+///
+/// # Panics
+/// Panics when `column` and `out` disagree on the universe size.
+pub fn fill_gene_bitset(column: &[f64], lo: f64, hi: f64, out: &mut MatchBitset) {
+    assert_eq!(column.len(), out.len(), "column/bitset length mismatch");
+    let words = out.words_mut();
+    for (word, chunk) in words.iter_mut().zip(column.chunks(64)) {
+        let mut w = 0u64;
+        for (b, &x) in chunk.iter().enumerate() {
+            w |= u64::from(x >= lo && x <= hi) << b;
+        }
+        *word = w;
     }
 }
 
@@ -197,5 +327,67 @@ mod tests {
         let t = TabularExamples::new(m, vec![0.0, 1.0]).unwrap();
         let (lo, hi) = t.feature_range();
         assert!(lo < 2.0 && hi > 2.0);
+    }
+
+    #[test]
+    fn columns_mirror_rows() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let t = TabularExamples::new(m, vec![0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(t.column(0), Some(&[1.0, 3.0, 5.0][..]));
+        assert_eq!(t.column(1), Some(&[2.0, 4.0, 6.0][..]));
+        assert_eq!(t.column_ranges(), &[(1.0, 5.0), (2.0, 6.0)]);
+
+        let vals: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(3, 1).unwrap().dataset(&vals).unwrap();
+        for p in 0..3 {
+            let col = ds.column(p).expect("contiguous windows expose columns");
+            assert_eq!(col.len(), ExampleSet::len(&ds));
+            for (i, &x) in col.iter().enumerate() {
+                assert_eq!(x, ds.window(i)[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn column_store_prefers_native_and_transposes_strided() {
+        // Contiguous windows: native columns, no owned copy.
+        let vals: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ds = WindowSpec::new(4, 1).unwrap().dataset(&vals).unwrap();
+        let store = ColumnStore::build(&ds);
+        for p in 0..4 {
+            assert_eq!(store.column(&ds, p), ds.column(p).unwrap());
+        }
+
+        // Strided delay embedding: no native column, the store transposes.
+        let strided = evoforecast_tsdata::window::WindowSpec::with_spacing(3, 1, 2)
+            .unwrap()
+            .dataset(&vals)
+            .unwrap();
+        assert!(ExampleSet::column(&strided, 0).is_none());
+        let store = ColumnStore::build(&strided);
+        for p in 0..3 {
+            let col = store.column(&strided, p);
+            assert_eq!(col.len(), ExampleSet::len(&strided));
+            for (i, &x) in col.iter().enumerate() {
+                assert_eq!(x, strided.window(i)[p]);
+            }
+        }
+    }
+
+    #[test]
+    fn gene_bitset_fill_matches_interval_semantics() {
+        let column = [0.0, 1.0, 2.0, 3.0, 4.0, 5.0, f64::NAN];
+        let mut bits = MatchBitset::new(column.len());
+        fill_gene_bitset(&column, 1.0, 3.0, &mut bits);
+        // Closed interval, NaN excluded.
+        assert_eq!(bits.to_indices(), vec![1, 2, 3]);
+        // Refill overwrites every word — no stale bits survive.
+        fill_gene_bitset(&column, 5.0, 9.0, &mut bits);
+        assert_eq!(bits.to_indices(), vec![5]);
+        // Long column exercises multiple words.
+        let long: Vec<f64> = (0..200).map(|i| i as f64).collect();
+        let mut bits = MatchBitset::new(200);
+        fill_gene_bitset(&long, 63.0, 130.0, &mut bits);
+        assert_eq!(bits.to_indices(), (63..=130).collect::<Vec<_>>());
     }
 }

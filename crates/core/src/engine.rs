@@ -6,16 +6,24 @@
 //! against the phenotypically nearest individual — it enters the population
 //! only if strictly fitter. The population after the final generation *is*
 //! the learned rule set (Michigan approach).
+//!
+//! With [`EngineConfig::use_delta_eval`] (default on) the offspring's match
+//! set is never recomputed from scratch: each individual carries one bitset
+//! per bounded gene ([`crate::population::GeneBitsets`]), crossover copies
+//! the donor parent's bitsets, mutation recomputes only the mutated genes
+//! (columnar sweep or sorted-projection range query), and the full match set
+//! is a selectivity-ordered word-wise AND. Results are bit-identical to the
+//! from-scratch fused evaluation — the toggle changes wall-clock only.
 
 use crate::bitset::MatchBitset;
 use crate::config::EngineConfig;
-use crate::dataset::ExampleSet;
+use crate::dataset::{self, ColumnStore, ExampleSet};
 use crate::error::EvoError;
 use crate::fitness::FitnessParams;
 use crate::matchindex::MatchIndex;
-use crate::population::{Individual, Population};
-use crate::regress::{fit_from_accumulator, rule_from_parts};
-use crate::rule::{Condition, Rule};
+use crate::population::{GeneBitsets, Individual, Population};
+use crate::regress::{fit_from_accumulator, fit_via_bitset, rule_from_parts};
+use crate::rule::{Condition, Gene, Rule};
 use crate::{crossover, init, mutation, parallel, replacement, selection};
 use evoforecast_linalg::regression::RegressionOptions;
 use evoforecast_tsdata::window::WindowedDataset;
@@ -104,8 +112,31 @@ pub struct GenericEngine<E: ExampleSet> {
     /// Number of windows with `viable_counts > 0` — the coverage numerator,
     /// maintained so [`Self::training_coverage`] is `O(1)`.
     covered: usize,
+    /// Delta-evaluation state (`None` when `config.use_delta_eval` is off).
+    delta: Option<DeltaState>,
     rng: ChaCha8Rng,
     stats: EngineStats,
+}
+
+/// State of the delta evaluation path: the columnar data view, one
+/// [`GeneBitsets`] per population slot (lockstep with `match_sets`), and
+/// reusable offspring scratch buffers — the steady-state loop allocates
+/// nothing.
+#[derive(Debug)]
+struct DeltaState {
+    columns: ColumnStore,
+    /// `gene_sets[k]` = per-gene match bitsets of individual `k`.
+    gene_sets: Vec<GeneBitsets>,
+    /// Offspring gene sets under construction; swapped into `gene_sets` on
+    /// replacement.
+    scratch_genes: GeneBitsets,
+    /// Offspring full match set; swapped into the engine's `match_sets` on
+    /// replacement.
+    scratch_full: MatchBitset,
+    /// Crossover provenance (`true` = gene inherited from parent `a`).
+    from_a: Vec<bool>,
+    /// Ascending indices of the genes mutation rewrote this generation.
+    mutated: Vec<usize>,
 }
 
 /// The paper's engine: evolution over a windowed time series.
@@ -136,18 +167,42 @@ impl<E: ExampleSet> GenericEngine<E> {
         let index = config.use_match_index.then(|| MatchIndex::build(&data));
 
         let conditions = init::initialize(config.init, &data, config.population_size, &mut rng);
+        let mut delta = config.use_delta_eval.then(|| DeltaState {
+            columns: ColumnStore::build(&data),
+            gene_sets: Vec::with_capacity(conditions.len()),
+            scratch_genes: GeneBitsets::new(data.feature_len(), data.len()),
+            scratch_full: MatchBitset::new(data.len()),
+            from_a: Vec::new(),
+            mutated: Vec::new(),
+        });
         let mut stats = EngineStats::default();
         let mut individuals = Vec::with_capacity(conditions.len());
         let mut match_sets = Vec::with_capacity(conditions.len());
         for c in conditions {
             stats.evaluations += 1;
-            let (ind, bits) = evaluate_condition(
-                c,
-                &data,
-                index.as_ref(),
-                &config.fitness,
-                config.parallel_threshold,
-            );
+            let (ind, bits) = match delta.as_mut() {
+                Some(ds) => {
+                    // Seed the per-gene bitsets and evaluate through the
+                    // delta back half — bit-identical to the fused scan.
+                    let gs = build_gene_sets(&c, &data, &ds.columns, index.as_ref());
+                    let mut full = MatchBitset::new(data.len());
+                    gs.intersect_into(&mut full);
+                    ds.gene_sets.push(gs);
+                    let opts = RegressionOptions::fast();
+                    let (count, model) =
+                        fit_via_bitset(&full, &data, opts, config.parallel_threshold);
+                    let rule = rule_from_parts(c, model, count);
+                    let fit = config.fitness.fitness(rule.matched, rule.error);
+                    (Individual { rule, fitness: fit }, full)
+                }
+                None => evaluate_condition(
+                    c,
+                    &data,
+                    index.as_ref(),
+                    &config.fitness,
+                    config.parallel_threshold,
+                ),
+            };
             individuals.push(ind);
             match_sets.push(bits);
         }
@@ -168,6 +223,7 @@ impl<E: ExampleSet> GenericEngine<E> {
             match_sets,
             viable_counts,
             covered,
+            delta,
             rng,
             stats,
         })
@@ -181,6 +237,24 @@ impl<E: ExampleSet> GenericEngine<E> {
             self.config.tournament_rounds,
             &mut self.rng,
         );
+        // Both branches draw the same RNG sequence (uniform/uniform_into and
+        // mutate/mutate_into are sequence-identical), so the toggle changes
+        // wall-clock only, never the evolved rules.
+        let replaced = if self.delta.is_some() {
+            self.offspring_delta(ia, ib)
+        } else {
+            self.offspring_rescan(ia, ib)
+        };
+        self.stats.generations += 1;
+        if replaced {
+            self.stats.replacements += 1;
+        }
+        replaced
+    }
+
+    /// From-scratch offspring evaluation: crossover, mutate, rematch the
+    /// whole dataset with the fused kernel, then crowding replacement.
+    fn offspring_rescan(&mut self, ia: usize, ib: usize) -> bool {
         let mut child = crossover::uniform(
             &self.population.get(ia).rule.condition,
             &self.population.get(ib).rule.condition,
@@ -227,11 +301,116 @@ impl<E: ExampleSet> GenericEngine<E> {
                 );
             }
         }
+        replaced
+    }
 
-        self.stats.generations += 1;
-        if replaced {
-            self.stats.replacements += 1;
+    /// Delta offspring evaluation: tracked crossover copies per-gene bitsets
+    /// from the donor parent, tracked mutation recomputes only the rewritten
+    /// genes, the full match set is a selectivity-ordered AND, and the Gram /
+    /// `Xᵀy` are rebuilt over the resulting set bits through the standard
+    /// chunk discipline. Zero allocation per generation: all buffers live in
+    /// [`DeltaState`] and are swapped — not cloned — into the population
+    /// slots on replacement.
+    fn offspring_delta(&mut self, ia: usize, ib: usize) -> bool {
+        let mut delta = self.delta.take().expect("delta state present");
+        let DeltaState {
+            columns,
+            gene_sets,
+            scratch_genes,
+            scratch_full,
+            from_a,
+            mutated,
+        } = &mut delta;
+
+        let mut child = crossover::uniform_into(
+            &self.population.get(ia).rule.condition,
+            &self.population.get(ib).rule.condition,
+            &mut self.rng,
+            from_a,
+        );
+        mutation::mutate_into(
+            &mut child,
+            &self.config.mutation,
+            self.config.value_range,
+            &mut self.rng,
+            mutated,
+        );
+
+        // Assemble the offspring's per-gene bitsets: rewritten genes are
+        // recomputed, everything else is copied verbatim from whichever
+        // parent donated the gene. `mutated` is ascending, so one forward
+        // cursor suffices.
+        let mut next_mutated = mutated.iter().copied().peekable();
+        for (g, (&gene, &take_a)) in child.genes().iter().zip(from_a.iter()).enumerate() {
+            if next_mutated.peek() == Some(&g) {
+                next_mutated.next();
+                match gene {
+                    Gene::Wildcard => scratch_genes.set_wildcard(g),
+                    Gene::Bounded { lo, hi } => refill_gene(
+                        scratch_genes,
+                        g,
+                        lo,
+                        hi,
+                        columns,
+                        &self.data,
+                        self.index.as_ref(),
+                    ),
+                }
+            } else {
+                let donor = if take_a {
+                    &gene_sets[ia]
+                } else {
+                    &gene_sets[ib]
+                };
+                scratch_genes.copy_gene_from(g, donor);
+            }
         }
+        scratch_genes.intersect_into(scratch_full);
+
+        let opts = RegressionOptions::fast();
+        let (count, model) = fit_via_bitset(
+            scratch_full,
+            &self.data,
+            opts,
+            self.config.parallel_threshold,
+        );
+        let rule = rule_from_parts(child, model, count);
+        let fit = self.config.fitness.fitness(rule.matched, rule.error);
+        let offspring = Individual { rule, fitness: fit };
+        self.stats.evaluations += 1;
+
+        let victim = replacement::choose_victim(
+            self.config.replacement,
+            &self.population,
+            offspring.rule.prediction,
+            &mut self.rng,
+        );
+        let victim_viable = !self
+            .config
+            .fitness
+            .is_unfit(self.population.get(victim).fitness);
+        let offspring_viable = !self.config.fitness.is_unfit(offspring.fitness);
+        let replaced = replacement::try_replace(&mut self.population, victim, offspring);
+
+        if replaced {
+            // Swap scratch into the victim's slots: the stored slots now hold
+            // the offspring's sets, the scratch holds the victim's old ones —
+            // exactly what the coverage withdrawal below needs, and next
+            // generation overwrites every scratch gene anyway.
+            std::mem::swap(&mut self.match_sets[victim], scratch_full);
+            std::mem::swap(&mut gene_sets[victim], scratch_genes);
+            if victim_viable {
+                remove_coverage(&mut self.viable_counts, &mut self.covered, scratch_full);
+            }
+            if offspring_viable {
+                add_coverage(
+                    &mut self.viable_counts,
+                    &mut self.covered,
+                    &self.match_sets[victim],
+                );
+            }
+        }
+        self.delta = Some(delta);
         replaced
     }
 
@@ -405,6 +584,44 @@ fn evaluate_condition<E: ExampleSet>(
     (Individual { rule, fitness: fit }, bits)
 }
 
+/// Recompute one bounded gene's bitset. Narrow intervals go through the
+/// sorted-projection range query (`O(log N + K)`); broad ones — or runs
+/// without an index — through the cache-friendly columnar sweep (`O(N)`).
+/// Both produce the exact [`Gene::accepts`] member set.
+fn refill_gene<E: ExampleSet>(
+    gene_sets: &mut GeneBitsets,
+    g: usize,
+    lo: f64,
+    hi: f64,
+    columns: &ColumnStore,
+    data: &E,
+    index: Option<&MatchIndex>,
+) {
+    gene_sets.recompute_with(g, |bits| {
+        if let Some(idx) = index {
+            if idx.fill_gene_bitset(g, lo, hi, bits) {
+                return;
+            }
+        }
+        dataset::fill_gene_bitset(columns.column(data, g), lo, hi, bits);
+    });
+}
+
+/// Build a condition's whole per-gene bitset family from scratch — the init
+/// path; the steady-state loop never calls this.
+fn build_gene_sets<E: ExampleSet>(
+    condition: &Condition,
+    data: &E,
+    columns: &ColumnStore,
+    index: Option<&MatchIndex>,
+) -> GeneBitsets {
+    let mut gs = GeneBitsets::new(condition.len(), data.len());
+    for (g, lo, hi) in condition.bounded() {
+        refill_gene(&mut gs, g, lo, hi, columns, data, index);
+    }
+    gs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,6 +758,75 @@ mod tests {
         let a = Engine::new(with_index, series.values()).unwrap().run();
         let b = Engine::new(without_index, series.values()).unwrap().run();
         assert_eq!(a, b, "the index must be a pure acceleration");
+    }
+
+    #[test]
+    fn delta_eval_does_not_change_results() {
+        // The tentpole guarantee: for a fixed seed, Engine::run with delta
+        // evaluation on produces the exact same rule set as with it off —
+        // with and without the match index underneath.
+        let series = noisy_sine(800, 25.0, 1.0, 0.08, 43);
+        let spec = WindowSpec::new(6, 2).unwrap();
+        for use_index in [true, false] {
+            let mut base = EngineConfig::for_series(series.values(), spec)
+                .with_population(25)
+                .with_generations(400)
+                .with_seed(91);
+            base.use_match_index = use_index;
+            let mut with_delta = base.clone();
+            with_delta.use_delta_eval = true;
+            let mut without_delta = base;
+            without_delta.use_delta_eval = false;
+            let a = Engine::new(with_delta, series.values()).unwrap().run();
+            let b = Engine::new(without_delta, series.values()).unwrap().run();
+            assert_eq!(
+                a, b,
+                "delta evaluation must be a pure acceleration (index={use_index})"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_parallel_threshold_does_not_change_results() {
+        let series = noisy_sine(600, 25.0, 1.0, 0.05, 19);
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let base = EngineConfig::for_series(series.values(), spec)
+            .with_population(20)
+            .with_generations(100)
+            .with_seed(29);
+        let mut seq_cfg = base.clone();
+        seq_cfg.parallel_threshold = usize::MAX;
+        let mut par_cfg = base;
+        par_cfg.parallel_threshold = 1;
+        let seq_rules = Engine::new(seq_cfg, series.values()).unwrap().run();
+        let par_rules = Engine::new(par_cfg, series.values()).unwrap().run();
+        assert_eq!(seq_rules, par_rules);
+    }
+
+    #[test]
+    fn delta_all_wildcard_condition_matches_everything() {
+        // Edge case: a condition of only wildcards has no per-gene bitset at
+        // all; the AND must yield the full universe and the fit must agree
+        // with the from-scratch fused kernel.
+        let series = noisy_sine(500, 25.0, 1.0, 0.05, 61);
+        let spec = WindowSpec::new(4, 1).unwrap();
+        let ds = spec.dataset(series.values()).unwrap();
+        let cond = Condition::all_wildcards(4);
+        let columns = ColumnStore::build(&ds);
+        let gs = build_gene_sets(&cond, &ds, &columns, None);
+        let mut full = MatchBitset::new(ExampleSet::len(&ds));
+        gs.intersect_into(&mut full);
+        assert!(full.all_set(), "all-wildcard must match every window");
+
+        let opts = RegressionOptions::fast();
+        let (count, model) = fit_via_bitset(&full, &ds, opts, usize::MAX);
+        let (scan_bits, acc) = parallel::match_and_accumulate(&cond, &ds, opts, usize::MAX);
+        assert_eq!(full, scan_bits);
+        assert_eq!(count, acc.count());
+        let reference = fit_from_accumulator(&acc, &scan_bits, &ds, opts).unwrap();
+        let model = model.unwrap();
+        assert_eq!(model.intercept.to_bits(), reference.intercept.to_bits());
+        assert_eq!(model.error.to_bits(), reference.error.to_bits());
     }
 
     #[test]
@@ -682,6 +968,98 @@ mod tests {
                 }
                 let cov = engine.training_coverage();
                 prop_assert!((0.0..=1.0).contains(&cov));
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+            #[test]
+            fn delta_single_gene_mutation_matches_from_scratch(
+                seed in 0u64..500,
+                n in 40usize..260,
+                d in 2usize..6,
+                lo_frac in 0.0..1.0f64,
+                width in 0.05..1.2f64,
+                wild_mask in 0u8..32,
+                mutate_gene_sel in 0usize..8,
+                to_wildcard_sel in 0u8..2,
+                new_lo_frac in 0.0..1.0f64,
+                new_width in 0.05..1.0f64,
+                threshold_sel in 0usize..2,
+                use_index_sel in 0u8..2,
+            ) {
+                prop_assume!(n > d + 6);
+                // threshold 1 exercises the rayon accumulation, MAX the
+                // sequential one — both must agree with the fused scan.
+                let threshold = [1usize, usize::MAX][threshold_sel];
+                let series = noisy_sine(n, 11.0, 1.0, 0.15, seed);
+                let ds = WindowSpec::new(d, 1).unwrap().dataset(series.values()).unwrap();
+                let nwin = ExampleSet::len(&ds);
+                let (min, max) = series
+                    .values()
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(a, b), &v| {
+                        (a.min(v), b.max(v))
+                    });
+                let span = max - min;
+                let genes: Vec<Gene> = (0..d)
+                    .map(|g| {
+                        if wild_mask & (1 << g) != 0 {
+                            Gene::Wildcard
+                        } else {
+                            let lo = min + lo_frac * span * 0.8;
+                            Gene::bounded(lo, lo + width * span)
+                        }
+                    })
+                    .collect();
+                let cond = Condition::new(genes);
+
+                let columns = ColumnStore::build(&ds);
+                let index = (use_index_sel == 1).then(|| MatchIndex::build(&ds));
+                let mut gs = build_gene_sets(&cond, &ds, &columns, index.as_ref());
+
+                // One-gene mutation, delta-maintained: only the touched
+                // gene's bitset changes.
+                let g = mutate_gene_sel % d;
+                let mut child = cond;
+                let new_gene = if to_wildcard_sel == 1 {
+                    Gene::Wildcard
+                } else {
+                    let lo = min + new_lo_frac * span * 0.8;
+                    Gene::bounded(lo, lo + new_width * span)
+                };
+                child.genes_mut()[g] = new_gene;
+                match new_gene {
+                    Gene::Wildcard => gs.set_wildcard(g),
+                    Gene::Bounded { lo, hi } => {
+                        refill_gene(&mut gs, g, lo, hi, &columns, &ds, index.as_ref())
+                    }
+                }
+                let mut full = MatchBitset::new(nwin);
+                gs.intersect_into(&mut full);
+                let opts = RegressionOptions::fast();
+                let (count, delta_model) = fit_via_bitset(&full, &ds, opts, threshold);
+
+                // From-scratch fused evaluation of the mutated condition.
+                let (scan_bits, acc) = parallel::match_and_accumulate(&child, &ds, opts, threshold);
+                prop_assert_eq!(&full, &scan_bits, "match sets differ");
+                prop_assert_eq!(count, acc.count());
+                let scratch_model = fit_from_accumulator(&acc, &scan_bits, &ds, opts);
+                match (delta_model, scratch_model) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        prop_assert_eq!(a.coefficients.len(), b.coefficients.len());
+                        for (x, y) in a.coefficients.iter().zip(&b.coefficients) {
+                            prop_assert_eq!(x.to_bits(), y.to_bits(),
+                                "coefficients must be bit-identical");
+                        }
+                        prop_assert_eq!(a.intercept.to_bits(), b.intercept.to_bits());
+                        prop_assert!((a.error - b.error).abs() <= 1e-9,
+                            "e_R drift {} vs {}", a.error, b.error);
+                    }
+                    (a, b) => prop_assert!(false,
+                        "fittability disagreement {:?} vs {:?}", a, b),
+                }
             }
         }
     }

@@ -65,10 +65,11 @@ pub mod selection;
 
 pub use bitset::MatchBitset;
 pub use config::{EngineConfig, EnsembleConfig, MutationConfig};
-pub use dataset::{ExampleSet, TabularExamples};
+pub use dataset::{ColumnStore, ExampleSet, TabularExamples};
 pub use engine::{Engine, GenericEngine};
 pub use ensemble::EnsembleTrainer;
 pub use error::EvoError;
+pub use population::GeneBitsets;
 pub use predict::{Combination, RuleSetPredictor};
 pub use replacement::ReplacementStrategy;
 pub use rule::{Condition, Gene, Rule};

@@ -20,7 +20,7 @@
 
 use crate::bitset::MatchBitset;
 use crate::dataset::ExampleSet;
-use crate::rule::{Condition, Gene};
+use crate::rule::Condition;
 use evoforecast_linalg::regression::{NormalEqAccumulator, RegressionOptions};
 
 /// Fall back to a linear scan when the most selective gene still admits
@@ -96,17 +96,15 @@ impl MatchIndex {
             range: (usize, usize),
         }
         let mut best: Option<BestGene> = None;
-        for (p, gene) in condition.genes().iter().enumerate() {
-            if let Gene::Bounded { lo, hi } = *gene {
-                let range = self.range_of(p, lo, hi);
-                let count = range.1 - range.0;
-                if best.as_ref().is_none_or(|b| count < b.count) {
-                    best = Some(BestGene {
-                        count,
-                        position: p,
-                        range,
-                    });
-                }
+        for (p, lo, hi) in condition.bounded() {
+            let range = self.range_of(p, lo, hi);
+            let count = range.1 - range.0;
+            if best.as_ref().is_none_or(|b| count < b.count) {
+                best = Some(BestGene {
+                    count,
+                    position: p,
+                    range,
+                });
             }
         }
 
@@ -139,20 +137,25 @@ impl MatchIndex {
         parallel_threshold: usize,
     ) -> Vec<usize> {
         // Re-run the selectivity probe; cheap (two binary searches per gene).
-        let mut best_count = usize::MAX;
-        let mut found_bounded = false;
-        for (p, gene) in condition.genes().iter().enumerate() {
-            if let Gene::Bounded { lo, hi } = *gene {
-                found_bounded = true;
-                let (start, end) = self.range_of(p, lo, hi);
-                best_count = best_count.min(end - start);
-            }
-        }
-        if found_bounded && (best_count as f64) < SCAN_FRACTION * self.examples as f64 {
+        if self.probe_is_selective(condition) {
             self.match_indices(condition, data)
         } else {
             crate::parallel::match_indices(condition, data, parallel_threshold)
         }
+    }
+
+    /// Selectivity probe shared by the fallback entry points: `true` when
+    /// some bounded gene admits fewer than [`SCAN_FRACTION`] of the windows,
+    /// i.e. the sorted-projection route is worth taking.
+    fn probe_is_selective(&self, condition: &Condition) -> bool {
+        let mut best_count = usize::MAX;
+        let mut found_bounded = false;
+        for (p, lo, hi) in condition.bounded() {
+            found_bounded = true;
+            let (start, end) = self.range_of(p, lo, hi);
+            best_count = best_count.min(end - start);
+        }
+        found_bounded && (best_count as f64) < SCAN_FRACTION * self.examples as f64
     }
 
     /// Fused-path twin of
@@ -170,21 +173,34 @@ impl MatchIndex {
         opts: RegressionOptions,
         parallel_threshold: usize,
     ) -> (MatchBitset, NormalEqAccumulator) {
-        let mut best_count = usize::MAX;
-        let mut found_bounded = false;
-        for (p, gene) in condition.genes().iter().enumerate() {
-            if let Gene::Bounded { lo, hi } = *gene {
-                found_bounded = true;
-                let (start, end) = self.range_of(p, lo, hi);
-                best_count = best_count.min(end - start);
-            }
-        }
-        if found_bounded && (best_count as f64) < SCAN_FRACTION * self.examples as f64 {
+        if self.probe_is_selective(condition) {
             let indices = self.match_indices(condition, data);
             crate::parallel::accumulate_sorted_indices(&indices, data, opts)
         } else {
             crate::parallel::match_and_accumulate(condition, data, opts, parallel_threshold)
         }
+    }
+
+    /// Fill `out` with the windows whose position-`p` value lies inside
+    /// `[lo, hi]`, via a range query over the sorted projection. Returns
+    /// `false` — leaving `out` untouched — when the interval admits
+    /// [`SCAN_FRACTION`] of the windows or more: there the columnar sweep
+    /// ([`crate::dataset::fill_gene_bitset`]) is cheaper than scattering that
+    /// many random bits, and the caller should fall back to it.
+    ///
+    /// # Panics
+    /// Panics when `out`'s universe differs from the indexed example count.
+    pub fn fill_gene_bitset(&self, p: usize, lo: f64, hi: f64, out: &mut MatchBitset) -> bool {
+        assert_eq!(out.len(), self.examples, "bitset universe mismatch");
+        let (start, end) = self.range_of(p, lo, hi);
+        if ((end - start) as f64) >= SCAN_FRACTION * self.examples as f64 {
+            return false;
+        }
+        out.clear();
+        for &(_, id) in &self.projections[p][start..end] {
+            out.set(id as usize);
+        }
+        true
     }
 }
 
@@ -192,6 +208,7 @@ impl MatchIndex {
 mod tests {
     use super::*;
     use crate::parallel;
+    use crate::rule::Gene;
     use evoforecast_tsdata::gen::venice::VeniceTide;
     use evoforecast_tsdata::window::WindowSpec;
     use proptest::prelude::*;
@@ -307,6 +324,48 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn gene_bitset_range_query_matches_brute_force() {
+        let (values, spec) = venice_windows(3_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let mut out = MatchBitset::new(ds.len());
+        // Selective band: the range query must fill the exact member set.
+        assert!(index.fill_gene_bitset(2, 60.0, 80.0, &mut out));
+        let expect: Vec<usize> = (0..ds.len())
+            .filter(|&i| {
+                let v = ds.features(i)[2];
+                (60.0..=80.0).contains(&v)
+            })
+            .collect();
+        assert_eq!(out.to_indices(), expect);
+        assert!(!expect.is_empty(), "band should match something");
+    }
+
+    #[test]
+    fn gene_bitset_refill_leaves_no_stale_bits() {
+        let (values, spec) = venice_windows(1_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let mut out = MatchBitset::new(ds.len());
+        assert!(index.fill_gene_bitset(0, 60.0, 80.0, &mut out));
+        // Refill with a disjoint (empty) band: old bits must vanish.
+        assert!(index.fill_gene_bitset(0, 1e6, 2e6, &mut out));
+        assert_eq!(out.count_ones(), 0);
+    }
+
+    #[test]
+    fn gene_bitset_declines_broad_intervals() {
+        let (values, spec) = venice_windows(1_000);
+        let ds = spec.dataset(&values).unwrap();
+        let index = MatchIndex::build(&ds);
+        let mut out = MatchBitset::from_indices(ds.len(), &[7]);
+        // An interval covering everything admits >= SCAN_FRACTION of the
+        // windows: the query must decline and leave `out` untouched.
+        assert!(!index.fill_gene_bitset(0, -1e6, 1e6, &mut out));
+        assert_eq!(out.to_indices(), vec![7]);
     }
 
     #[test]

@@ -22,24 +22,44 @@ pub fn mutate<R: Rng>(
     value_range: (f64, f64),
     rng: &mut R,
 ) {
+    let mut changed = Vec::new();
+    mutate_into(condition, config, value_range, rng, &mut changed);
+}
+
+/// [`mutate`], additionally recording into `changed` the positions whose
+/// gene was actually rewritten (a wildcard that stayed a wildcard is *not*
+/// recorded). The delta evaluation path recomputes exactly these genes'
+/// match bitsets and inherits every other gene's from the donor parent.
+/// Draws exactly the same RNG sequence as [`mutate`], so the two are
+/// interchangeable without perturbing a seeded run.
+pub fn mutate_into<R: Rng>(
+    condition: &mut Condition,
+    config: &MutationConfig,
+    value_range: (f64, f64),
+    rng: &mut R,
+    changed: &mut Vec<usize>,
+) {
     let (lo_v, hi_v) = value_range;
     let range = hi_v - lo_v;
     debug_assert!(range > 0.0, "value range must be non-empty");
     let max_step = config.step_fraction * range;
 
-    for gene in condition.genes_mut() {
+    changed.clear();
+    for (g, gene) in condition.genes_mut().iter_mut().enumerate() {
         if rng.gen::<f64>() >= config.per_gene_probability {
             continue;
         }
         *gene = match *gene {
             Gene::Wildcard => {
                 if rng.gen::<f64>() < config.from_wildcard_probability {
+                    changed.push(g);
                     random_interval(lo_v, hi_v, rng)
                 } else {
                     Gene::Wildcard
                 }
             }
             Gene::Bounded { lo, hi } => {
+                changed.push(g);
                 if rng.gen::<f64>() < config.to_wildcard_probability {
                     Gene::Wildcard
                 } else {
@@ -204,6 +224,70 @@ mod tests {
         assert!(c.genes()[0].is_wildcard());
         assert!(!c.genes()[1].is_wildcard());
         assert!(c.genes()[2].is_wildcard());
+    }
+
+    #[test]
+    fn tracked_and_untracked_draw_the_same_rng_sequence() {
+        let cfg = MutationConfig {
+            per_gene_probability: 0.5,
+            step_fraction: 0.2,
+            to_wildcard_probability: 0.2,
+            from_wildcard_probability: 0.5,
+        };
+        for seed in 0..64u64 {
+            let mut plain = base_condition();
+            mutate(
+                &mut plain,
+                &cfg,
+                (0.0, 100.0),
+                &mut ChaCha8Rng::seed_from_u64(seed),
+            );
+            let mut tracked = base_condition();
+            let mut changed = Vec::new();
+            mutate_into(
+                &mut tracked,
+                &cfg,
+                (0.0, 100.0),
+                &mut ChaCha8Rng::seed_from_u64(seed),
+                &mut changed,
+            );
+            assert_eq!(plain, tracked, "seed {seed} diverged");
+        }
+    }
+
+    #[test]
+    fn changed_records_exactly_the_rewritten_genes() {
+        let cfg = MutationConfig {
+            per_gene_probability: 0.5,
+            step_fraction: 0.2,
+            to_wildcard_probability: 0.3,
+            from_wildcard_probability: 0.4,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut saw_change = false;
+        for _ in 0..200 {
+            let before = base_condition();
+            let mut after = before.clone();
+            let mut changed = Vec::new();
+            mutate_into(&mut after, &cfg, (0.0, 100.0), &mut rng, &mut changed);
+            saw_change |= !changed.is_empty();
+            for g in 0..before.len() {
+                let recorded = changed.contains(&g);
+                let both_wildcard =
+                    before.genes()[g].is_wildcard() && after.genes()[g].is_wildcard();
+                if both_wildcard {
+                    // A wildcard that stayed a wildcard must never be recorded:
+                    // its (implicit) match set is unchanged.
+                    assert!(!recorded, "gene {g} wildcard->wildcard was recorded");
+                } else if before.genes()[g] != after.genes()[g] {
+                    assert!(recorded, "gene {g} changed but was not recorded");
+                }
+                // A recorded bounded gene may coincidentally equal its old
+                // value (measure-zero step draws aside, perturbation always
+                // rewrites), so the reverse implication is not asserted.
+            }
+        }
+        assert!(saw_change, "mutation never fired in 200 trials");
     }
 
     #[test]

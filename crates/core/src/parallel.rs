@@ -149,6 +149,61 @@ pub fn accumulate_sorted_indices<E: ExampleSet>(
     (bits, acc)
 }
 
+/// Accumulate the normal equations over the set bits of an already-known
+/// match set — the delta-evaluation entry into the fused path, where the
+/// match set was produced by ANDing per-gene bitsets rather than by
+/// rescanning rows. Walks each [`GRAM_CHUNK`]'s words (chunk boundaries are
+/// word-aligned), pushing rows in ascending window order, and merges the
+/// per-chunk parts in ascending chunk order skipping empty ones — exactly
+/// the discipline of [`match_and_accumulate`] /
+/// [`accumulate_sorted_indices`], so all three agree bit-for-bit on the same
+/// match set. Parallelized over chunks when the dataset has at least
+/// `threshold` windows.
+///
+/// # Panics
+/// Panics (in debug builds) when the bitset universe differs from the
+/// dataset length.
+pub fn accumulate_from_bitset<E: ExampleSet>(
+    bits: &MatchBitset,
+    data: &E,
+    opts: RegressionOptions,
+    threshold: usize,
+) -> NormalEqAccumulator {
+    let n = data.len();
+    debug_assert_eq!(bits.len(), n, "bitset universe mismatch");
+    let d = data.feature_len();
+    let chunks = n.div_ceil(GRAM_CHUNK);
+    let words_per_chunk = GRAM_CHUNK / 64;
+    let words = bits.words();
+    let chunk_acc = |c: usize| {
+        let word_start = c * words_per_chunk;
+        let word_end = (word_start + words_per_chunk).min(words.len());
+        let mut part = NormalEqAccumulator::new(d, opts.intercept);
+        for (wi, &word) in words[word_start..word_end].iter().enumerate() {
+            let base = (word_start + wi) * 64;
+            let mut w = word;
+            while w != 0 {
+                let i = base + w.trailing_zeros() as usize;
+                part.push_row(data.features(i), data.target(i));
+                w &= w - 1;
+            }
+        }
+        part
+    };
+    let parts: Vec<NormalEqAccumulator> = if n < threshold {
+        (0..chunks).map(chunk_acc).collect()
+    } else {
+        (0..chunks).into_par_iter().map(chunk_acc).collect()
+    };
+    let mut acc = NormalEqAccumulator::new(d, opts.intercept);
+    for part in parts {
+        if part.count() > 0 {
+            acc.merge(&part);
+        }
+    }
+    acc
+}
+
 /// Matched windows as a bitset (no regression accumulation) — used for the
 /// ensemble's incremental coverage union. Chunked and parallelized like
 /// [`match_and_accumulate`].
@@ -359,6 +414,48 @@ mod tests {
         assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
         for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
             assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn bitset_accumulation_matches_fused_scan_bit_for_bit() {
+        // The delta path hands an AND-derived bitset to
+        // accumulate_from_bitset; its chunked merge must reproduce the fused
+        // scan's sums exactly, sequentially and under rayon.
+        let vals = big_series();
+        let ds = dataset(&vals);
+        let cond = Condition::new(vec![
+            Gene::bounded(-25.0, 25.0),
+            Gene::bounded(-40.0, 40.0),
+            Gene::Wildcard,
+        ]);
+        let opts = RegressionOptions::fast();
+        let (scan_bits, scan_acc) = match_and_accumulate(&cond, &ds, opts, usize::MAX);
+        for threshold in [usize::MAX, 1] {
+            let acc = accumulate_from_bitset(&scan_bits, &ds, opts, threshold);
+            assert_eq!(acc.count(), scan_acc.count());
+            assert_eq!(
+                acc.sum_targets().to_bits(),
+                scan_acc.sum_targets().to_bits()
+            );
+            let a = acc.solve(opts.ridge_lambda).unwrap();
+            let b = scan_acc.solve(opts.ridge_lambda).unwrap();
+            assert_eq!(a.intercept().to_bits(), b.intercept().to_bits());
+            for (x, y) in a.coefficients().iter().zip(b.coefficients()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_accumulation_of_empty_set_is_empty() {
+        let vals = big_series();
+        let ds = dataset(&vals);
+        let opts = RegressionOptions::fast();
+        let empty = MatchBitset::new(ds.len());
+        for threshold in [usize::MAX, 1] {
+            let acc = accumulate_from_bitset(&empty, &ds, opts, threshold);
+            assert_eq!(acc.count(), 0);
         }
     }
 

@@ -1,10 +1,20 @@
-//! Population container.
+//! Population container and per-gene match-set companions.
 //!
 //! In the Michigan approach the population *is* the solution, so the
 //! container keeps every individual's derived rule and cached fitness
 //! together; steady-state evolution replaces at most one slot per
 //! generation, so fitness is computed exactly once per individual.
+//!
+//! [`GeneBitsets`] is the columnar decomposition of one individual's match
+//! set: one bitset per *bounded* interval gene (the windows that gene alone
+//! accepts), with wildcards held as implicit all-ones that are never
+//! materialized. Because a gene's bitset depends only on that gene's
+//! interval — not on the rest of the condition — crossover can inherit the
+//! donor parent's bitset verbatim and mutation only recomputes the touched
+//! gene; the full match set is a word-wise AND in ascending-selectivity
+//! order ([`GeneBitsets::intersect_into`]).
 
+use crate::bitset::MatchBitset;
 use crate::rule::Rule;
 
 /// One population slot: a rule plus its cached fitness.
@@ -14,6 +24,135 @@ pub struct Individual {
     pub rule: Rule,
     /// Cached fitness under the run's [`crate::fitness::FitnessParams`].
     pub fitness: f64,
+}
+
+/// One gene's slot in a [`GeneBitsets`]: the buffer is kept allocated even
+/// while the gene is a wildcard (`active == false`) so toggling a gene
+/// between wildcard and bounded never allocates in the steady-state loop;
+/// an inactive buffer's contents are dead and unreachable through the API.
+#[derive(Debug, Clone)]
+struct GeneSlot {
+    bits: MatchBitset,
+    active: bool,
+    ones: usize,
+}
+
+/// Per-gene match bitsets for one individual — the columnar companion the
+/// delta evaluation path maintains alongside each population slot.
+#[derive(Debug, Clone)]
+pub struct GeneBitsets {
+    slots: Vec<GeneSlot>,
+    universe: usize,
+}
+
+impl GeneBitsets {
+    /// All-wildcard sets for `d` genes over `universe` windows (buffers
+    /// allocated up front, all inactive).
+    pub fn new(d: usize, universe: usize) -> GeneBitsets {
+        GeneBitsets {
+            slots: vec![
+                GeneSlot {
+                    bits: MatchBitset::new(universe),
+                    active: false,
+                    ones: 0,
+                };
+                d
+            ],
+            universe,
+        }
+    }
+
+    /// Number of genes `D`.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the condition has no genes (never — conditions are
+    /// non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Universe size (number of training windows).
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Gene `g`'s bitset, or `None` when the gene is a wildcard (implicit
+    /// all-ones).
+    pub fn bitset(&self, g: usize) -> Option<&MatchBitset> {
+        let s = &self.slots[g];
+        s.active.then_some(&s.bits)
+    }
+
+    /// Gene `g`'s member count, or `None` for a wildcard.
+    pub fn ones(&self, g: usize) -> Option<usize> {
+        let s = &self.slots[g];
+        s.active.then_some(s.ones)
+    }
+
+    /// Mark gene `g` as a wildcard: its bitset is dropped from the API (the
+    /// buffer is retained for reuse but its stale contents are unreachable).
+    pub fn set_wildcard(&mut self, g: usize) {
+        self.slots[g].active = false;
+        self.slots[g].ones = 0;
+    }
+
+    /// Recompute gene `g`'s bitset in place: `fill` overwrites the buffer
+    /// (every word — see [`crate::dataset::fill_gene_bitset`]), then the
+    /// slot is activated with a fresh popcount.
+    pub fn recompute_with(&mut self, g: usize, fill: impl FnOnce(&mut MatchBitset)) {
+        let slot = &mut self.slots[g];
+        fill(&mut slot.bits);
+        slot.ones = slot.bits.count_ones();
+        slot.active = true;
+    }
+
+    /// Inherit gene `g` from `donor` (the crossover path): copies the
+    /// donor's bitset into the existing buffer — no rescan, no allocation —
+    /// or marks the gene wildcard when the donor's is.
+    ///
+    /// # Panics
+    /// Panics when the universes or gene counts differ.
+    pub fn copy_gene_from(&mut self, g: usize, donor: &GeneBitsets) {
+        assert_eq!(self.universe, donor.universe, "gene-set universe mismatch");
+        let src = &donor.slots[g];
+        let dst = &mut self.slots[g];
+        if src.active {
+            dst.bits.copy_from(&src.bits);
+            dst.ones = src.ones;
+            dst.active = true;
+        } else {
+            dst.active = false;
+            dst.ones = 0;
+        }
+    }
+
+    /// The full match set: AND of every bounded gene's bitset, most
+    /// selective (fewest members) first so the running result collapses as
+    /// early as possible, with a hard exit the moment it goes all-zero.
+    /// All-wildcard conditions yield the full universe. `O(B · N/64)` word
+    /// ops worst case for `B` bounded genes.
+    pub fn intersect_into(&self, out: &mut MatchBitset) {
+        let mut order: Vec<(usize, usize)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active)
+            .map(|(g, s)| (s.ones, g))
+            .collect();
+        if order.is_empty() {
+            out.fill_all();
+            return;
+        }
+        order.sort_unstable();
+        out.copy_from(&self.slots[order[0].1].bits);
+        for &(_, g) in &order[1..] {
+            if !out.intersect_with(&self.slots[g].bits) {
+                return; // running set is empty; remaining ANDs are no-ops
+            }
+        }
+    }
 }
 
 /// A fixed-capacity population of evaluated individuals.
@@ -162,6 +301,114 @@ mod tests {
         let owned = p.into_rules();
         assert_eq!(owned.len(), 2);
         assert_eq!(owned[1].prediction, 8.0);
+    }
+
+    mod gene_bitsets {
+        use super::super::*;
+
+        fn fill_indices(indices: &'static [usize]) -> impl FnOnce(&mut MatchBitset) {
+            move |bits: &mut MatchBitset| {
+                bits.clear();
+                for &i in indices {
+                    bits.set(i);
+                }
+            }
+        }
+
+        #[test]
+        fn starts_all_wildcard_with_full_universe_match() {
+            let gs = GeneBitsets::new(3, 100);
+            assert_eq!(gs.len(), 3);
+            assert!(!gs.is_empty());
+            assert_eq!(gs.universe(), 100);
+            for g in 0..3 {
+                assert!(gs.bitset(g).is_none());
+                assert!(gs.ones(g).is_none());
+            }
+            // All-wildcard condition: the intersection is the whole universe.
+            let mut out = MatchBitset::new(100);
+            gs.intersect_into(&mut out);
+            assert!(out.all_set());
+        }
+
+        #[test]
+        fn mutating_from_wildcard_builds_a_bitset() {
+            let mut gs = GeneBitsets::new(2, 50);
+            gs.recompute_with(0, fill_indices(&[3, 7, 40]));
+            assert_eq!(gs.bitset(0).unwrap().to_indices(), vec![3, 7, 40]);
+            assert_eq!(gs.ones(0), Some(3));
+            let mut out = MatchBitset::new(50);
+            gs.intersect_into(&mut out);
+            assert_eq!(out.to_indices(), vec![3, 7, 40]);
+        }
+
+        #[test]
+        fn mutating_to_wildcard_drops_the_bitset() {
+            let mut gs = GeneBitsets::new(2, 50);
+            gs.recompute_with(0, fill_indices(&[1, 2]));
+            gs.recompute_with(1, fill_indices(&[2, 3]));
+            gs.set_wildcard(0);
+            // The stale [1, 2] buffer must be unreachable: gene 0 now matches
+            // everything, so the intersection is gene 1's set alone.
+            assert!(gs.bitset(0).is_none());
+            assert!(gs.ones(0).is_none());
+            let mut out = MatchBitset::new(50);
+            gs.intersect_into(&mut out);
+            assert_eq!(out.to_indices(), vec![2, 3]);
+        }
+
+        #[test]
+        fn recompute_overwrites_stale_contents() {
+            let mut gs = GeneBitsets::new(1, 50);
+            gs.recompute_with(0, fill_indices(&[10, 20, 30]));
+            gs.set_wildcard(0);
+            // Reactivate with different members: nothing from [10, 20, 30]
+            // may leak through.
+            gs.recompute_with(0, fill_indices(&[5]));
+            assert_eq!(gs.bitset(0).unwrap().to_indices(), vec![5]);
+            assert_eq!(gs.ones(0), Some(1));
+        }
+
+        #[test]
+        fn crossover_copy_inherits_bitset_and_wildcardness() {
+            let mut donor = GeneBitsets::new(3, 60);
+            donor.recompute_with(0, fill_indices(&[0, 59]));
+            // donor gene 1 stays wildcard, gene 2 bounded.
+            donor.recompute_with(2, fill_indices(&[7]));
+
+            let mut child = GeneBitsets::new(3, 60);
+            child.recompute_with(1, fill_indices(&[4, 5])); // to be overwritten
+            for g in 0..3 {
+                child.copy_gene_from(g, &donor);
+            }
+            assert_eq!(child.bitset(0).unwrap().to_indices(), vec![0, 59]);
+            assert!(child.bitset(1).is_none(), "wildcard must be inherited");
+            assert_eq!(child.ones(2), Some(1));
+        }
+
+        #[test]
+        fn intersection_is_selectivity_ordered_and_early_exits() {
+            let mut gs = GeneBitsets::new(3, 200);
+            gs.recompute_with(0, fill_indices(&[1, 2, 3, 4, 5, 6, 7, 100]));
+            gs.recompute_with(1, fill_indices(&[100]));
+            gs.recompute_with(2, fill_indices(&[2, 100, 150]));
+            let mut out = MatchBitset::new(200);
+            gs.intersect_into(&mut out);
+            assert_eq!(out.to_indices(), vec![100]);
+
+            // Disjoint genes: the running set dies and the result is empty.
+            gs.recompute_with(1, fill_indices(&[199]));
+            gs.intersect_into(&mut out);
+            assert_eq!(out.count_ones(), 0);
+        }
+
+        #[test]
+        #[should_panic(expected = "universe mismatch")]
+        fn copy_across_universes_panics() {
+            let donor = GeneBitsets::new(1, 10);
+            let mut child = GeneBitsets::new(1, 20);
+            child.copy_gene_from(0, &donor);
+        }
     }
 
     #[test]

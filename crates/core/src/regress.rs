@@ -21,6 +21,13 @@
 //!   cheap pass over only the `K` matched rows computes `e_R`. This is the
 //!   engine's hot path — once per offspring, every generation.
 //!
+//! A third entry, [`fit_via_bitset`], serves the delta-evaluation path: the
+//! match set is already known (ANDed together from per-gene bitsets), so
+//! only the accumulate + solve half runs, rebuilding the Gram by iterating
+//! the set bits through the same chunk discipline
+//! ([`crate::parallel::accumulate_from_bitset`]) — results stay bit-identical
+//! to the fused scan.
+//!
 //! To keep results bit-identical across the sequential, rayon-parallel and
 //! index-accelerated matchers, accumulation is chunked: windows are grouped
 //! into fixed [`GRAM_CHUNK`]-sized chunks, each chunk gets its own
@@ -180,6 +187,24 @@ pub fn fit_from_accumulator<E: ExampleSet>(
             })
         }
     }
+}
+
+/// Derive the predicting part from an already-known match bitset — the
+/// delta-evaluation back half. Rebuilds the normal equations over the set
+/// bits in ascending window order via
+/// [`crate::parallel::accumulate_from_bitset`] (same [`GRAM_CHUNK`]
+/// discipline as the fused scan, parallelized when the dataset has at least
+/// `threshold` windows), then solves and computes `e_R` exactly like
+/// [`fit_from_accumulator`]. Returns `(matched_count, model)`.
+pub fn fit_via_bitset<E: ExampleSet>(
+    matched: &MatchBitset,
+    data: &E,
+    opts: RegressionOptions,
+    threshold: usize,
+) -> (usize, Option<FittedPart>) {
+    let acc = crate::parallel::accumulate_from_bitset(matched, data, opts, threshold);
+    let count = acc.count();
+    (count, fit_from_accumulator(&acc, matched, data, opts))
 }
 
 /// Match `condition` against every window of `data` and derive the

@@ -152,6 +152,15 @@ impl Condition {
         self.genes.iter().filter(|g| !g.is_wildcard()).count()
     }
 
+    /// Iterate the bounded genes as `(position, lo, hi)` — the shape the
+    /// selectivity probes and per-gene match kernels consume.
+    pub fn bounded(&self) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        self.genes.iter().enumerate().filter_map(|(p, g)| match *g {
+            Gene::Bounded { lo, hi } => Some((p, lo, hi)),
+            Gene::Wildcard => None,
+        })
+    }
+
     /// Serialize to the paper's flat `(LL_1, UL_1, ..., LL_D, UL_D)` layout,
     /// with NaN pairs standing in for `*`.
     pub fn to_flat(&self) -> Vec<f64> {
@@ -338,6 +347,20 @@ mod tests {
         let c = Condition::all_wildcards(3);
         assert!(c.matches(&[1e9, -1e9, 0.0]));
         assert_eq!(c.specificity(), 0);
+        assert_eq!(c.bounded().count(), 0);
+    }
+
+    #[test]
+    fn bounded_iterator_skips_wildcards() {
+        let c = Condition::new(vec![
+            Gene::bounded(1.0, 2.0),
+            Gene::Wildcard,
+            Gene::bounded(-4.0, 4.0),
+        ]);
+        assert_eq!(
+            c.bounded().collect::<Vec<_>>(),
+            vec![(0, 1.0, 2.0), (2, -4.0, 4.0)]
+        );
     }
 
     #[test]
