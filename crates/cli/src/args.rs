@@ -4,10 +4,17 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 /// CLI errors.
+///
+/// The split matters for exit codes: [`CliError::Usage`] and
+/// [`CliError::Config`] are the caller's fault (exit 2), everything else is
+/// a runtime failure (exit 1).
 #[derive(Debug)]
 pub enum CliError {
     /// Bad invocation: unknown command, missing/duplicate/unparsable flags.
     Usage(String),
+    /// Flags parsed but describe an invalid configuration (rejected by the
+    /// substrate's validation rather than by the flag parser).
+    Config(String),
     /// Filesystem or serialization failure.
     Io(std::io::Error),
     /// A substrate error (data, training).
@@ -18,6 +25,7 @@ impl fmt::Display for CliError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Config(msg) => write!(f, "configuration error: {msg}"),
             CliError::Io(e) => write!(f, "I/O error: {e}"),
             CliError::Runtime(msg) => write!(f, "error: {msg}"),
         }
@@ -173,6 +181,9 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(CliError::Usage("x".into()).to_string().contains("usage"));
+        assert!(CliError::Config("bad emax".into())
+            .to_string()
+            .contains("configuration"));
         let io: CliError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
         assert!(io.to_string().contains("gone"));
         assert!(CliError::Runtime("boom".into())

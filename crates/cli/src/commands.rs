@@ -3,8 +3,9 @@
 use crate::args::{Args, CliError};
 use evoforecast_core::analysis::{CoverageMap, RuleSetStats};
 use evoforecast_core::config::{EngineConfig, EnsembleConfig};
-use evoforecast_core::ensemble::EnsembleTrainer;
+use evoforecast_core::error::EvoError;
 use evoforecast_core::model::{ModelMetadata, TrainedModel};
+use evoforecast_core::supervisor::{RunBudget, Supervisor};
 use evoforecast_metrics::{EvaluationReport, PairedErrors};
 use evoforecast_tsdata::gen::ar::ArProcess;
 use evoforecast_tsdata::gen::chaotic;
@@ -26,6 +27,10 @@ COMMANDS
   train    --data <file.csv> --window <D> --horizon <τ> [--spacing <Δ>]
            [--population <P>] [--generations <G>] [--executions <E>]
            [--emax-frac <f>] [--seed <u64>] --out <model.json>
+           [--checkpoint <state.json>] [--time-budget <seconds>]
+           [--max-retries <n>] [--generation-budget <G'>]
+  resume   same flags as train, --checkpoint required; continues a
+           checkpointed campaign (flags must match the original run)
   evaluate --model <model.json> --data <file.csv> [--from <index>]
   predict  --model <model.json> --data <file.csv>
   freerun  --model <model.json> --data <file.csv> --steps <n>
@@ -37,6 +42,15 @@ COMMANDS
 
 fn runtime<E: std::fmt::Display>(e: E) -> CliError {
     CliError::Runtime(e.to_string())
+}
+
+/// Training errors split by exit code: invalid configurations are the
+/// caller's fault (exit 2), everything else is a runtime failure (exit 1).
+fn classify(e: EvoError) -> CliError {
+    match e {
+        EvoError::InvalidConfig(msg) => CliError::Config(msg),
+        other => CliError::Runtime(other.to_string()),
+    }
 }
 
 /// `generate`: synthesize a series and write it as CSV.
@@ -80,9 +94,31 @@ pub fn generate(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
 
 /// `train`: fit a rule-system ensemble on a CSV series and save the model.
 ///
+/// Runs under the fault-tolerant [`Supervisor`] (panic isolation plus
+/// retry-with-reseed); fault-free runs are bit-identical to the plain
+/// ensemble trainer. With `--checkpoint` the merged state is saved after
+/// every wave so an interrupted campaign can be continued with `resume`.
+///
 /// # Errors
-/// Usage/I/O errors; runtime errors from training.
+/// Usage/I/O errors; config errors for invalid parameters; runtime errors
+/// from training.
 pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    train_impl(args, out, false)
+}
+
+/// `resume`: continue a checkpointed `train` campaign from its last
+/// completed wave. Takes the same flags as `train`; they must reproduce the
+/// original configuration (the checkpoint's fingerprint is verified), and
+/// `--checkpoint` is required. A resumed campaign yields a model
+/// bit-identical to an uninterrupted run.
+///
+/// # Errors
+/// Usage/I/O errors; runtime errors for corrupt or mismatched checkpoints.
+pub fn resume(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    train_impl(args, out, true)
+}
+
+fn train_impl(args: &Args, out: &mut dyn Write, resuming: bool) -> Result<(), CliError> {
     let data_path = args.required("data")?;
     let model_path = args.required("out")?;
     let window: usize = args.parse_required("window")?;
@@ -93,6 +129,34 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let executions: usize = args.parse_or("executions", 4)?;
     let emax_frac: f64 = args.parse_or("emax-frac", 0.15)?;
     let seed: u64 = args.parse_or("seed", 0x5EED)?;
+    let checkpoint = args.get("checkpoint");
+    if resuming && checkpoint.is_none() {
+        return Err(CliError::Usage(
+            "resume needs --checkpoint pointing at the interrupted run's state file".into(),
+        ));
+    }
+
+    let mut budget = RunBudget::default();
+    if let Some(raw) = args.get("time-budget") {
+        let secs: f64 = raw.parse().map_err(|_| {
+            CliError::Usage(format!("flag --time-budget has unparsable value {raw:?}"))
+        })?;
+        if !secs.is_finite() || secs <= 0.0 {
+            return Err(CliError::Usage(
+                "--time-budget must be a positive number of seconds".into(),
+            ));
+        }
+        budget = budget.with_wall_clock(std::time::Duration::from_secs_f64(secs));
+    }
+    budget = budget.with_max_retries(args.parse_or("max-retries", budget.max_retries)?);
+    if let Some(raw) = args.get("generation-budget") {
+        let g: usize = raw.parse().map_err(|_| {
+            CliError::Usage(format!(
+                "flag --generation-budget has unparsable value {raw:?}"
+            ))
+        })?;
+        budget = budget.with_generations_per_execution(g);
+    }
 
     let series = ts_io::read_series_file(data_path).map_err(runtime)?;
     let spec = WindowSpec::with_spacing(window, horizon, spacing).map_err(runtime)?;
@@ -104,8 +168,15 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
     let (lo, hi) = engine.value_range;
     let engine = engine.with_emax((hi - lo) * emax_frac);
     let config = EnsembleConfig::new(engine).with_max_executions(executions);
-    let trainer = EnsembleTrainer::new(config).map_err(runtime)?;
-    let (predictor, report) = trainer.run(series.values()).map_err(runtime)?;
+    let supervisor = Supervisor::new(config)
+        .map_err(classify)?
+        .with_budget(budget);
+    let (predictor, report) = match checkpoint {
+        Some(path) => supervisor
+            .run_resumable(series.values(), std::path::Path::new(path))
+            .map_err(classify)?,
+        None => supervisor.run(series.values()).map_err(classify)?,
+    };
 
     let model = TrainedModel::new(
         spec,
@@ -126,6 +197,12 @@ pub fn train(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         report.executions,
         report.training_coverage * 100.0
     )?;
+    if let Some(reason) = &report.degradation {
+        writeln!(out, "degraded: {reason}; resume to continue the campaign")?;
+    }
+    if let Some(path) = checkpoint {
+        writeln!(out, "checkpoint saved to {path}")?;
+    }
     Ok(())
 }
 

@@ -8,7 +8,9 @@
 //! evoforecast-cli generate --series venice --n 8000 --seed 7 --out tides.csv
 //! evoforecast-cli train    --data tides.csv --window 24 --horizon 4 \
 //!                      --generations 6000 --population 50 --executions 4 \
-//!                      --seed 11 --out model.json
+//!                      --seed 11 --out model.json \
+//!                      --checkpoint state.json --time-budget 600
+//! evoforecast-cli resume   # same flags as train; continues from state.json
 //! evoforecast-cli evaluate --model model.json --data tides.csv --from 6000
 //! evoforecast-cli predict  --model model.json --data tides.csv
 //! evoforecast-cli analyze  --model model.json --data tides.csv
@@ -32,6 +34,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
     match command.as_str() {
         "generate" => commands::generate(&args, out),
         "train" => commands::train(&args, out),
+        "resume" => commands::resume(&args, out),
         "evaluate" => commands::evaluate(&args, out),
         "predict" => commands::predict(&args, out),
         "freerun" => commands::freerun(&args, out),

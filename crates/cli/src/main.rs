@@ -5,8 +5,10 @@ fn main() {
     let mut stdout = std::io::stdout();
     if let Err(e) = evoforecast_cli::run(&argv, &mut stdout) {
         eprintln!("{e}");
+        // Exit 2 = the invocation was wrong (bad flags or invalid config);
+        // exit 1 = the invocation was fine but the run failed.
         std::process::exit(match e {
-            evoforecast_cli::CliError::Usage(_) => 2,
+            evoforecast_cli::CliError::Usage(_) | evoforecast_cli::CliError::Config(_) => 2,
             _ => 1,
         });
     }

@@ -85,6 +85,160 @@ fn full_workflow_on_noisy_sine() {
 }
 
 #[test]
+fn checkpointed_train_resumes_to_the_same_model_as_a_plain_run() {
+    let dir = temp_dir("resume");
+    let data = dir.join("sine.csv");
+    let plain = dir.join("plain.json");
+    let staged = dir.join("staged.json");
+    let state = dir.join("state.json");
+    let data_s = data.to_str().unwrap();
+    run_ok(&[
+        "generate",
+        "--series",
+        "noisy-sine",
+        "--n",
+        "400",
+        "--seed",
+        "3",
+        "--out",
+        data_s,
+    ]);
+    let train_flags = |out: &str| {
+        sv(&[
+            "train",
+            "--data",
+            data_s,
+            "--window",
+            "3",
+            "--horizon",
+            "1",
+            "--population",
+            "15",
+            "--generations",
+            "400",
+            "--executions",
+            "2",
+            "--seed",
+            "6",
+            "--out",
+            out,
+        ])
+    };
+
+    // Reference: one uninterrupted run, no supervisor extras.
+    let mut buf = Vec::new();
+    run(&train_flags(plain.to_str().unwrap()), &mut buf).unwrap();
+
+    // Interrupted run: an already-expired wall-clock budget stops the
+    // campaign before the first wave, leaving only a checkpoint.
+    let mut argv = train_flags(staged.to_str().unwrap());
+    argv.extend(sv(&[
+        "--checkpoint",
+        state.to_str().unwrap(),
+        "--time-budget",
+        "0.000001",
+    ]));
+    let mut buf = Vec::new();
+    run(&argv, &mut buf).unwrap();
+    let msg = String::from_utf8(buf).unwrap();
+    assert!(
+        msg.contains("degraded"),
+        "expected degradation notice: {msg}"
+    );
+    assert!(state.exists());
+
+    // Resume with the same flags (sans budget) completes the campaign; the
+    // model must be byte-identical to the uninterrupted run's.
+    let mut argv = train_flags(staged.to_str().unwrap());
+    argv[0] = "resume".to_string();
+    argv.extend(sv(&["--checkpoint", state.to_str().unwrap()]));
+    let mut buf = Vec::new();
+    run(&argv, &mut buf).unwrap();
+    assert_eq!(
+        std::fs::read_to_string(&plain).unwrap(),
+        std::fs::read_to_string(&staged).unwrap(),
+        "resumed model must be bit-identical to the uninterrupted run"
+    );
+
+    // A resume whose flags don't match the checkpointed run is rejected.
+    let mut argv = train_flags(staged.to_str().unwrap());
+    argv[0] = "resume".to_string();
+    argv.extend(sv(&["--checkpoint", state.to_str().unwrap()]));
+    let seed_at = argv.iter().position(|a| a == "--seed").unwrap();
+    argv[seed_at + 1] = "7".to_string();
+    let mut buf = Vec::new();
+    let err = run(&argv, &mut buf).unwrap_err();
+    assert!(matches!(err, CliError::Runtime(_)));
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+
+    // resume without --checkpoint is a usage error.
+    let mut argv = train_flags(staged.to_str().unwrap());
+    argv[0] = "resume".to_string();
+    let mut buf = Vec::new();
+    let err = run(&argv, &mut buf).unwrap_err();
+    assert!(matches!(err, CliError::Usage(_)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn invalid_training_configuration_is_a_config_error() {
+    let dir = temp_dir("config_err");
+    let data = dir.join("sine.csv");
+    let data_s = data.to_str().unwrap();
+    run_ok(&[
+        "generate", "--series", "sine", "--n", "200", "--out", data_s,
+    ]);
+    // A negative EMAX fraction survives flag parsing but fails substrate
+    // validation: that must classify as Config (exit 2), not Runtime.
+    let mut out = Vec::new();
+    let err = run(
+        &sv(&[
+            "train",
+            "--data",
+            data_s,
+            "--window",
+            "3",
+            "--horizon",
+            "1",
+            "--emax-frac",
+            "-1",
+            "--out",
+            dir.join("m.json").to_str().unwrap(),
+        ]),
+        &mut out,
+    )
+    .unwrap_err();
+    assert!(matches!(err, CliError::Config(_)), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn train_rejects_non_finite_csv_cells_with_line_context() {
+    let dir = temp_dir("nan_csv");
+    let data = dir.join("bad.csv");
+    std::fs::write(&data, "1.0\n2.0\nnan\n4.0\n5.0\n6.0\n").unwrap();
+    let mut out = Vec::new();
+    let err = run(
+        &sv(&[
+            "train",
+            "--data",
+            data.to_str().unwrap(),
+            "--window",
+            "2",
+            "--horizon",
+            "1",
+            "--out",
+            dir.join("m.json").to_str().unwrap(),
+        ]),
+        &mut out,
+    )
+    .unwrap_err();
+    assert!(matches!(err, CliError::Runtime(_)));
+    assert!(err.to_string().contains("line 3"), "{err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn help_prints_usage() {
     let msg = run_ok(&["help"]);
     assert!(msg.contains("COMMANDS"));

@@ -276,6 +276,16 @@ impl EnsembleConfig {
         self
     }
 
+    /// Fingerprint of this configuration: FNV-1a over the canonical JSON
+    /// rendering. Stored in checkpoints so a resume refuses to continue a
+    /// campaign under a different configuration (which would silently break
+    /// the bit-identical-resume guarantee).
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self)
+            .expect("EnsembleConfig serializes: all fields are plain data");
+        crate::checkpoint::fingerprint_json(&json)
+    }
+
     /// Validate.
     ///
     /// # Errors
@@ -422,6 +432,19 @@ mod tests {
         let json = serde_json::to_string(&e).unwrap();
         let back: EnsembleConfig = serde_json::from_str(&json).unwrap();
         assert_eq!(e, back);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_config_sensitive() {
+        let e = EnsembleConfig::new(EngineConfig::for_series(&train(), spec()));
+        assert_eq!(e.fingerprint(), e.clone().fingerprint());
+        assert_ne!(
+            e.fingerprint(),
+            e.clone().with_max_executions(9).fingerprint()
+        );
+        let mut reseeded = e.clone();
+        reseeded.engine.seed ^= 1;
+        assert_ne!(e.fingerprint(), reseeded.fingerprint());
     }
 
     #[test]

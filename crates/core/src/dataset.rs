@@ -117,7 +117,7 @@ impl TabularExamples {
     ///
     /// # Errors
     /// [`EvoError::InvalidConfig`] on shape mismatch, empty data, or
-    /// non-finite values.
+    /// non-finite values (naming the first offending row/column).
     pub fn new(features: Matrix, targets: Vec<f64>) -> Result<TabularExamples, EvoError> {
         if features.rows() != targets.len() {
             return Err(EvoError::InvalidConfig(format!(
@@ -131,10 +131,17 @@ impl TabularExamples {
                 "tabular examples need at least one row and one column".into(),
             ));
         }
-        if !features.all_finite() || !targets.iter().all(|t| t.is_finite()) {
-            return Err(EvoError::InvalidConfig(
-                "tabular examples must be finite".into(),
-            ));
+        for i in 0..features.rows() {
+            if let Some(p) = features.row(i).iter().position(|x| !x.is_finite()) {
+                return Err(EvoError::InvalidConfig(format!(
+                    "non-finite feature at row {i}, column {p}"
+                )));
+            }
+        }
+        if let Some(i) = targets.iter().position(|t| !t.is_finite()) {
+            return Err(EvoError::InvalidConfig(format!(
+                "non-finite target at index {i}"
+            )));
         }
         let (n, d) = (features.rows(), features.cols());
         let mut columns = vec![Vec::with_capacity(n); d];
@@ -263,9 +270,12 @@ impl ColumnStore {
 /// `N/64` word stores; this is the delta path's gene-recompute kernel.
 ///
 /// # Panics
-/// Panics when `column` and `out` disagree on the universe size.
+/// Panics when `column` and `out` disagree on the universe size, and (in
+/// debug builds) when the interval bounds are NaN — a NaN bound silently
+/// matches nothing, which upstream validation should have caught.
 pub fn fill_gene_bitset(column: &[f64], lo: f64, hi: f64, out: &mut MatchBitset) {
     assert_eq!(column.len(), out.len(), "column/bitset length mismatch");
+    debug_assert!(!lo.is_nan() && !hi.is_nan(), "NaN gene interval bound");
     let words = out.words_mut();
     for (word, chunk) in words.iter_mut().zip(column.chunks(64)) {
         let mut w = 0u64;
@@ -300,9 +310,20 @@ mod tests {
         assert!(TabularExamples::new(Matrix::zeros(0, 2), vec![]).is_err());
         assert!(TabularExamples::new(Matrix::zeros(2, 0), vec![1.0, 2.0]).is_err());
         let mut bad = m.clone();
-        bad[(0, 0)] = f64::NAN;
-        assert!(TabularExamples::new(bad, vec![1.0, 2.0]).is_err());
-        assert!(TabularExamples::new(m.clone(), vec![1.0, f64::INFINITY]).is_err());
+        bad[(1, 0)] = f64::NAN;
+        match TabularExamples::new(bad, vec![1.0, 2.0]) {
+            Err(EvoError::InvalidConfig(msg)) => {
+                assert!(msg.contains("row 1"), "{msg}");
+                assert!(msg.contains("column 0"), "{msg}");
+            }
+            other => panic!("expected indexed non-finite error, got {other:?}"),
+        }
+        match TabularExamples::new(m.clone(), vec![1.0, f64::INFINITY]) {
+            Err(EvoError::InvalidConfig(msg)) => {
+                assert!(msg.contains("target at index 1"), "{msg}")
+            }
+            other => panic!("expected indexed non-finite error, got {other:?}"),
+        }
         assert!(TabularExamples::new(m, vec![1.0, 2.0]).is_ok());
     }
 

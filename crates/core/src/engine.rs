@@ -56,6 +56,12 @@ pub struct StopConditions {
     pub stagnation_window: Option<usize>,
     /// Coverage-check cadence in generations.
     pub check_every: usize,
+    /// Stop once this instant passes (checked after every generation). A
+    /// wall-clock guard for interactive runs; note that unlike the other
+    /// conditions it makes the stopping point machine-dependent, so
+    /// deterministic pipelines (the ensemble supervisor) budget in
+    /// *generations* instead and only consult the clock between executions.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl StopConditions {
@@ -66,6 +72,7 @@ impl StopConditions {
             target_coverage: None,
             stagnation_window: None,
             check_every: 500,
+            deadline: None,
         }
     }
 
@@ -80,6 +87,12 @@ impl StopConditions {
         self.stagnation_window = Some(window);
         self
     }
+
+    /// Builder-style wall-clock deadline, as a duration from now.
+    pub fn with_time_budget(mut self, budget: std::time::Duration) -> Self {
+        self.deadline = Some(std::time::Instant::now() + budget);
+        self
+    }
 }
 
 /// Why [`GenericEngine::run_until`] returned.
@@ -91,6 +104,8 @@ pub enum StopReason {
     CoverageReached,
     /// No replacement for the configured window of generations.
     Stagnated,
+    /// The wall-clock deadline passed.
+    DeadlineExpired,
 }
 
 /// One evolution run over an arbitrary example set. The paper's setting is
@@ -465,6 +480,11 @@ impl<E: ExampleSet> GenericEngine<E> {
             if let Some(target) = stop.target_coverage {
                 if (g + 1) % check_every == 0 && self.training_coverage() >= target {
                     return (self.population.rules(), StopReason::CoverageReached);
+                }
+            }
+            if let Some(deadline) = stop.deadline {
+                if std::time::Instant::now() >= deadline {
+                    return (self.population.rules(), StopReason::DeadlineExpired);
                 }
             }
         }
@@ -901,10 +921,25 @@ mod tests {
             target_coverage: Some(0.01),
             stagnation_window: None,
             check_every: 10,
+            deadline: None,
         };
         let (_, reason) = e.run_until(stop);
         assert_eq!(reason, StopReason::CoverageReached);
         assert!(e.stats().generations <= 10);
+    }
+
+    #[test]
+    fn run_until_respects_expired_deadline() {
+        let series = noisy_sine(300, 25.0, 1.0, 0.05, 37);
+        let mut e = engine_on(series.values(), 0, 37);
+        // A deadline already in the past: the run must stop after the very
+        // first generation with DeadlineExpired, not grind through the cap.
+        let stop = StopConditions::generations(1_000_000)
+            .with_time_budget(std::time::Duration::from_secs(0));
+        let (rules, reason) = e.run_until(stop);
+        assert_eq!(reason, StopReason::DeadlineExpired);
+        assert_eq!(e.stats().generations, 1);
+        assert_eq!(rules.len(), 30);
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 pub mod analysis;
 pub mod bitset;
+pub mod checkpoint;
 pub mod config;
 pub mod crossover;
 pub mod dataset;
@@ -62,8 +63,10 @@ pub mod regress;
 pub mod replacement;
 pub mod rule;
 pub mod selection;
+pub mod supervisor;
 
 pub use bitset::MatchBitset;
+pub use checkpoint::{CheckpointError, EnsembleCheckpoint, ExecutionOutcome, OutcomeStatus};
 pub use config::{EngineConfig, EnsembleConfig, MutationConfig};
 pub use dataset::{ColumnStore, ExampleSet, TabularExamples};
 pub use engine::{Engine, GenericEngine};
@@ -73,6 +76,9 @@ pub use population::GeneBitsets;
 pub use predict::{Combination, RuleSetPredictor};
 pub use replacement::ReplacementStrategy;
 pub use rule::{Condition, Gene, Rule};
+pub use supervisor::{
+    run_ensemble_resumable, DegradationReason, RunBudget, Supervisor, SupervisorReport,
+};
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
@@ -87,4 +93,7 @@ pub mod prelude {
     pub use crate::predict::{Combination, RuleSetPredictor};
     pub use crate::replacement::ReplacementStrategy;
     pub use crate::rule::{Condition, Gene, Rule};
+    pub use crate::supervisor::{
+        run_ensemble_resumable, DegradationReason, RunBudget, Supervisor, SupervisorReport,
+    };
 }

@@ -80,9 +80,11 @@ impl TrainedModel {
     /// Serialize to pretty JSON.
     ///
     /// # Errors
-    /// I/O errors from the writer.
+    /// I/O errors from the writer, or `InvalidData` when serialization
+    /// fails.
     pub fn save_json<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
-        let json = serde_json::to_string_pretty(self).expect("model serializes");
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         writer.write_all(json.as_bytes())
     }
 

@@ -55,6 +55,10 @@ fn accumulate_chunk<E: ExampleSet>(
     for i in start..end {
         let w = data.features(i);
         if condition.matches(w) {
+            debug_assert!(
+                w.iter().all(|x| x.is_finite()) && data.target(i).is_finite(),
+                "non-finite example at index {i} reached the fused kernel"
+            );
             acc.push_row(w, data.target(i));
             let local = i - start;
             words[local / 64] |= 1u64 << (local % 64);
@@ -184,6 +188,14 @@ pub fn accumulate_from_bitset<E: ExampleSet>(
             let mut w = word;
             while w != 0 {
                 let i = base + w.trailing_zeros() as usize;
+                debug_assert!(
+                    i < n,
+                    "bitset has a set bit at {i} beyond the dataset length {n}"
+                );
+                debug_assert!(
+                    data.features(i).iter().all(|x| x.is_finite()) && data.target(i).is_finite(),
+                    "non-finite example at index {i} reached the delta kernel"
+                );
                 part.push_row(data.features(i), data.target(i));
                 w &= w - 1;
             }

@@ -33,6 +33,15 @@ pub enum DataError {
         /// The cell contents.
         value: String,
     },
+    /// A CSV cell parsed as a float but was NaN or infinite (Rust's float
+    /// parser accepts `nan`/`inf` spellings; the loaders reject them at the
+    /// source so the error can name the line instead of a window index).
+    NonFiniteInput {
+        /// 1-based line number of the offending cell.
+        line: usize,
+        /// The cell contents as read.
+        value: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -53,6 +62,9 @@ impl fmt::Display for DataError {
             DataError::Io(e) => write!(f, "I/O error: {e}"),
             DataError::Parse { line, value } => {
                 write!(f, "cannot parse {value:?} as a number at line {line}")
+            }
+            DataError::NonFiniteInput { line, value } => {
+                write!(f, "non-finite value {value:?} at line {line}")
             }
         }
     }
@@ -96,6 +108,12 @@ mod tests {
             value: "abc".into(),
         };
         assert!(p.to_string().contains("abc"));
+        let nf = DataError::NonFiniteInput {
+            line: 5,
+            value: "nan".into(),
+        };
+        assert!(nf.to_string().contains("nan"));
+        assert!(nf.to_string().contains('5'));
     }
 
     #[test]

@@ -17,6 +17,8 @@ use std::path::Path;
 /// # Errors
 /// * [`DataError::Io`] on read failure,
 /// * [`DataError::Parse`] with the offending line number,
+/// * [`DataError::NonFiniteInput`] when a cell parses as `nan`/`inf`, with
+///   the offending line number,
 /// * [`DataError::EmptySeries`] / [`DataError::NonFinite`] from validation.
 pub fn read_series<R: Read>(name: &str, reader: R) -> Result<TimeSeries, DataError> {
     let buf = BufReader::new(reader);
@@ -40,6 +42,14 @@ pub fn read_series<R: Read>(name: &str, reader: R) -> Result<TimeSeries, DataErr
             line: line_no,
             value: cell.to_string(),
         })?;
+        // Rust's float parser accepts "nan"/"inf"; reject them here so the
+        // error names the source line rather than a downstream window index.
+        if !v.is_finite() {
+            return Err(DataError::NonFiniteInput {
+                line: line_no,
+                value: cell.to_string(),
+            });
+        }
         values.push(v);
     }
     TimeSeries::new(name, values)
@@ -120,6 +130,29 @@ mod tests {
                 assert_eq!(value, "not_a_number");
             }
             other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_cells_rejected_with_line_context() {
+        // "nan" and "inf" parse as floats; the loader must still refuse them
+        // and name the line they came from.
+        let text = "1.0\n2.0\nnan\n4.0\n";
+        match read_series("x", text.as_bytes()) {
+            Err(DataError::NonFiniteInput { line, value }) => {
+                assert_eq!(line, 3);
+                assert_eq!(value, "nan");
+            }
+            other => panic!("expected non-finite input error, got {other:?}"),
+        }
+        // Comments and blanks don't shift the reported line number.
+        let text = "# header\n\n0,1.0\n1,-inf\n";
+        match read_series("x", text.as_bytes()) {
+            Err(DataError::NonFiniteInput { line, value }) => {
+                assert_eq!(line, 4);
+                assert_eq!(value, "-inf");
+            }
+            other => panic!("expected non-finite input error, got {other:?}"),
         }
     }
 

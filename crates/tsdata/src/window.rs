@@ -168,6 +168,12 @@ impl<'a> WindowedDataset<'a> {
 
     /// The `i`-th input window (`D` values at spacing `Δ`).
     ///
+    /// The slice arithmetic below never over-runs for `i < len()`: dataset
+    /// construction guarantees `len() + target_offset() == values.len()` (and
+    /// sized the strided buffer to exactly `len() · D`), so the unchecked hot
+    /// path is safe under that invariant. Out-of-range callers hit the slice
+    /// bounds check. Use [`WindowedDataset::get`] for a checked lookup.
+    ///
     /// # Panics
     /// Panics when `i >= len()`.
     #[inline]
@@ -180,11 +186,22 @@ impl<'a> WindowedDataset<'a> {
 
     /// The `i`-th target `x_{i + (D-1)Δ + τ}`.
     ///
+    /// Same invariant as [`WindowedDataset::window`]: for `i < len()` the
+    /// target index is at most `values.len() - 1` by construction.
+    ///
     /// # Panics
     /// Panics when `i >= len()`.
     #[inline]
     pub fn target(&self, i: usize) -> f64 {
         self.values[i + (self.spec.window - 1) * self.spec.spacing + self.spec.horizon]
+    }
+
+    /// Checked `(window, target)` lookup: `None` when `i >= len()` instead
+    /// of panicking — for callers whose index is not already bounded by an
+    /// iteration over `0..len()`.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<(&[f64], f64)> {
+        (i < self.len()).then(|| (self.window(i), self.target(i)))
     }
 
     /// Iterate `(window, target)` pairs oldest-first.
@@ -298,6 +315,19 @@ mod tests {
         for (w, t) in ds.iter() {
             assert_eq!(t, w[1] + 1.0);
         }
+    }
+
+    #[test]
+    fn checked_get_mirrors_unchecked_accessors() {
+        let vals = ramp(10);
+        let ds = WindowSpec::new(3, 2).unwrap().dataset(&vals).unwrap();
+        for i in 0..ds.len() {
+            let (w, t) = ds.get(i).expect("in range");
+            assert_eq!(w, ds.window(i));
+            assert_eq!(t, ds.target(i));
+        }
+        assert!(ds.get(ds.len()).is_none());
+        assert!(ds.get(usize::MAX).is_none());
     }
 
     #[test]
