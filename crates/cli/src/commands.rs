@@ -37,6 +37,9 @@ COMMANDS
   analyze  --model <model.json> --data <file.csv> [--bins <n>]
   experiment --config <spec.json> [--out <results.json>]
   spectrum --data <file.csv> [--top <n>]
+  serve    --model <model.json> [--name <slot>] [--addr <host:port>]
+           [--workers <n>] [--queue <depth>] [--deadline-ms <ms>]
+           [--max-batch <n>] [--max-body-bytes <n>]
   help
 ";
 
@@ -417,4 +420,66 @@ pub fn analyze(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
         writeln!(out, "overall window coverage: {:.1}%", f * 100.0)?;
     }
     Ok(())
+}
+
+/// `serve`: load a trained-model artifact into a registry slot and serve
+/// forecasts over HTTP until the process is killed.
+///
+/// # Errors
+/// Usage errors for bad flags, I/O errors loading the artifact,
+/// [`CliError::Config`] when the artifact is internally inconsistent.
+pub fn serve(args: &Args, out: &mut dyn Write) -> Result<(), CliError> {
+    let server = serve_start(args, out)?;
+    server.join();
+    Ok(())
+}
+
+/// Start the forecast server without blocking — the testable core of
+/// [`serve`].
+///
+/// # Errors
+/// See [`serve`].
+pub fn serve_start(
+    args: &Args,
+    out: &mut dyn Write,
+) -> Result<evoforecast_serve::Server, CliError> {
+    use evoforecast_serve::registry::ModelRegistry;
+    use evoforecast_serve::server::{Server, ServerConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let model_path = args.required("model")?;
+    let name = args.get("name").unwrap_or("default").to_string();
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8471").to_string(),
+        workers: args.parse_or("workers", defaults.workers)?,
+        queue_depth: args.parse_or("queue", defaults.queue_depth)?,
+        deadline: Duration::from_millis(args.parse_or("deadline-ms", 2_000u64)?),
+        max_body_bytes: args.parse_or("max-body-bytes", defaults.max_body_bytes)?,
+        max_batch: args.parse_or("max-batch", defaults.max_batch)?,
+    };
+
+    let model = TrainedModel::load_json_file(model_path)?;
+    let registry = Arc::new(ModelRegistry::new());
+    let entry = registry
+        .install_trained(&name, model)
+        .map_err(|e| CliError::Config(e.to_string()))?;
+    writeln!(
+        out,
+        "slot {:?}: {} rules, D={}, τ={}, Δ={}, fingerprint {}",
+        entry.name(),
+        entry.predictor.len(),
+        entry.spec.window(),
+        entry.spec.horizon(),
+        entry.spec.spacing(),
+        entry.fingerprint
+    )?;
+    let server = Server::start(config, registry)?;
+    writeln!(
+        out,
+        "serving at http://{} — POST /forecast /reload · GET /healthz /models /stats",
+        server.local_addr()
+    )?;
+    Ok(server)
 }

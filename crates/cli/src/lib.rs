@@ -41,6 +41,7 @@ pub fn run(argv: &[String], out: &mut dyn std::io::Write) -> Result<(), CliError
         "experiment" => commands::experiment(&args, out),
         "spectrum" => commands::spectrum(&args, out),
         "analyze" => commands::analyze(&args, out),
+        "serve" => commands::serve(&args, out),
         "help" | "--help" | "-h" => writeln!(out, "{}", commands::USAGE).map_err(CliError::from),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}; try `evoforecast help`"

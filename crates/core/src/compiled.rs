@@ -1,0 +1,594 @@
+//! Inference-compiled rule sets for online serving.
+//!
+//! Training wants a rule set that is easy to mutate; serving wants one that
+//! is fast to *query*. [`CompiledRuleSet`] lowers a trained/merged
+//! [`RuleSetPredictor`] into a static, query-optimized form:
+//!
+//! * **Per-dimension boundary projections.** For each window position the
+//!   bounded genes' interval endpoints are collected, sorted and deduplicated.
+//!   Between (and at) consecutive endpoints the set of rules whose interval
+//!   contains the query value is *constant*, so each elementary segment
+//!   stores a precomputed rule bitset (wildcard rules are members of every
+//!   segment). A query value selects its segment by one binary search.
+//! * **Bitset AND.** The firing set for a window is the intersection of the
+//!   `D` per-dimension segment bitsets — `O(D·(log B + R/64))` words instead
+//!   of the `O(R·D)` interval scan of [`RuleSetPredictor::predict`], with an
+//!   early exit as soon as the running intersection dies.
+//! * **Contiguous payloads.** The firing rules' regression rows `(a, b)` and
+//!   expected errors `e_R` live in flat arrays indexed by rule id, so the
+//!   combination loop streams them without pointer chasing.
+//!
+//! Predictions are **bit-identical** to [`RuleSetPredictor::predict_with`]
+//! for every combination mode: the firing set is provably the same (the
+//! segment decomposition reproduces `Gene::accepts` exactly, including
+//! closed endpoints and `-0.0 == 0.0`), rules are visited in the same
+//! ascending order, and each term is computed with the same floating-point
+//! expression. A property test pins this.
+
+use crate::bitset::MatchBitset;
+use crate::dataset::ExampleSet;
+use crate::predict::{Combination, PredictionDetail, RuleSetPredictor, WEIGHT_EPS};
+use crate::rule::Gene;
+use evoforecast_linalg::vector::dot_unchecked;
+
+/// Windows per parallel chunk in [`CompiledRuleSet::predict_dataset`]; each
+/// chunk reuses one scratch bitset across all of its windows.
+const PREDICT_CHUNK: usize = 1024;
+
+/// One window position's compiled stabbing index.
+#[derive(Debug, Clone)]
+struct AxisIndex {
+    /// Sorted, deduplicated interval endpoints of the bounded genes at this
+    /// position (`-0.0` normalized to `0.0`; always finite).
+    boundaries: Vec<f64>,
+    /// `2·boundaries.len() + 1` elementary segments: segment `2j` is the
+    /// open interval *before* boundary `j` (or after the last), segment
+    /// `2j+1` is the boundary point itself. Each holds the rules whose gene
+    /// at this position accepts any value in the segment.
+    segments: Vec<MatchBitset>,
+    /// Rules with a wildcard at this position (the answer for NaN queries,
+    /// which no bounded interval accepts).
+    wildcards: MatchBitset,
+}
+
+impl AxisIndex {
+    /// Collapse `-0.0` to `0.0` so binary search agrees with IEEE `==`
+    /// (which `Gene::accepts`' range check uses).
+    fn norm(v: f64) -> f64 {
+        if v == 0.0 {
+            0.0
+        } else {
+            v
+        }
+    }
+
+    fn build(position: usize, rules: &[crate::rule::Rule]) -> AxisIndex {
+        let r = rules.len();
+        let mut wildcards = MatchBitset::new(r);
+        let mut boundaries: Vec<f64> = Vec::new();
+        for (i, rule) in rules.iter().enumerate() {
+            match rule.condition.genes()[position] {
+                Gene::Wildcard => wildcards.set(i),
+                Gene::Bounded { lo, hi } => {
+                    boundaries.push(Self::norm(lo));
+                    boundaries.push(Self::norm(hi));
+                }
+            }
+        }
+        boundaries.sort_by(f64::total_cmp);
+        boundaries.dedup();
+
+        // Every segment starts as "the wildcard rules"; bounded rules then
+        // paint the contiguous segment range their interval covers.
+        let mut segments = vec![wildcards.clone(); 2 * boundaries.len() + 1];
+        for (i, rule) in rules.iter().enumerate() {
+            if let Gene::Bounded { lo, hi } = rule.condition.genes()[position] {
+                let il = boundaries.partition_point(|b| *b < Self::norm(lo));
+                let ih = boundaries.partition_point(|b| *b < Self::norm(hi));
+                // [lo, hi] covers the boundary points il..=ih and every open
+                // segment strictly between them: segments 2·il+1 ..= 2·ih+1.
+                for segment in &mut segments[2 * il + 1..=2 * ih + 1] {
+                    segment.set(i);
+                }
+            }
+        }
+        AxisIndex {
+            boundaries,
+            segments,
+            wildcards,
+        }
+    }
+
+    /// The precomputed firing bitset for query value `x` at this position.
+    #[inline]
+    fn segment_for(&self, x: f64) -> &MatchBitset {
+        if x.is_nan() {
+            // No closed interval contains NaN; only wildcards accept it.
+            return &self.wildcards;
+        }
+        let i = self.boundaries.partition_point(|b| *b < x);
+        if i < self.boundaries.len() && self.boundaries[i] == x {
+            &self.segments[2 * i + 1]
+        } else {
+            &self.segments[2 * i]
+        }
+    }
+}
+
+/// A rule set lowered into an inference-optimized form: per-dimension
+/// boundary projections for the firing set, flat payload arrays for the
+/// combination loop. Build once with [`CompiledRuleSet::compile`], query from
+/// any number of threads (`&self` only).
+#[derive(Debug, Clone)]
+pub struct CompiledRuleSet {
+    dims: usize,
+    rule_count: usize,
+    /// Row-major `rule_count × dims` regression coefficients.
+    coefficients: Vec<f64>,
+    intercepts: Vec<f64>,
+    errors: Vec<f64>,
+    axes: Vec<AxisIndex>,
+}
+
+impl CompiledRuleSet {
+    /// Lower a predictor into compiled form. `O(D · R log R)` build time.
+    ///
+    /// # Panics
+    /// Panics when the predictor mixes rules of different window lengths
+    /// (an upstream merge bug, not a data condition).
+    pub fn compile(predictor: &RuleSetPredictor) -> CompiledRuleSet {
+        let rules = predictor.rules();
+        let rule_count = rules.len();
+        let dims = rules.first().map_or(0, |r| r.window_len());
+        assert!(
+            rules.iter().all(|r| r.window_len() == dims),
+            "cannot compile a rule set with mixed window lengths"
+        );
+        let mut coefficients = Vec::with_capacity(rule_count * dims);
+        let mut intercepts = Vec::with_capacity(rule_count);
+        let mut errors = Vec::with_capacity(rule_count);
+        for r in rules {
+            coefficients.extend_from_slice(&r.coefficients);
+            intercepts.push(r.intercept);
+            errors.push(r.error);
+        }
+        let axes = (0..dims).map(|p| AxisIndex::build(p, rules)).collect();
+        CompiledRuleSet {
+            dims,
+            rule_count,
+            coefficients,
+            intercepts,
+            errors,
+            axes,
+        }
+    }
+
+    /// Number of compiled rules.
+    pub fn len(&self) -> usize {
+        self.rule_count
+    }
+
+    /// True when no rules were compiled (every prediction abstains).
+    pub fn is_empty(&self) -> bool {
+        self.rule_count == 0
+    }
+
+    /// Window length `D` the compiled rules expect.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// A scratch firing-set bitset sized for this rule set. Allocate once,
+    /// reuse across queries via the `*_into` entry points.
+    pub fn scratch(&self) -> MatchBitset {
+        MatchBitset::new(self.rule_count)
+    }
+
+    /// Fill `scratch` with the firing set for `window`; returns `false` when
+    /// it is empty. `D` binary searches + up to `D` bitset ANDs with early
+    /// exit.
+    fn fill_firing(&self, window: &[f64], scratch: &mut MatchBitset) -> bool {
+        debug_assert_eq!(window.len(), self.dims, "window/compiled length");
+        let mut axes = self.axes.iter().zip(window.iter());
+        let Some((axis, &x)) = axes.next() else {
+            return false; // zero-dimensional: no rules at all
+        };
+        scratch.copy_from(axis.segment_for(x));
+        let mut alive = scratch.count_ones() > 0;
+        for (axis, &x) in axes {
+            if !alive {
+                return false;
+            }
+            alive = scratch.intersect_with(axis.segment_for(x));
+        }
+        alive
+    }
+
+    /// [`RuleSetPredictor::predict`], compiled. Allocates a fresh scratch —
+    /// hot paths should hold one and call
+    /// [`CompiledRuleSet::predict_with_into`].
+    pub fn predict(&self, window: &[f64]) -> Option<f64> {
+        self.predict_with(window, Combination::Mean)
+    }
+
+    /// [`RuleSetPredictor::predict_with`], compiled.
+    pub fn predict_with(&self, window: &[f64], combination: Combination) -> Option<f64> {
+        let mut scratch = self.scratch();
+        self.predict_with_into(window, combination, &mut scratch)
+    }
+
+    /// Predict using a caller-owned scratch bitset (no allocation).
+    ///
+    /// # Panics
+    /// Panics when `scratch` was not created by [`CompiledRuleSet::scratch`]
+    /// of a rule set with the same rule count; in debug builds also when the
+    /// window length differs from `D`.
+    pub fn predict_with_into(
+        &self,
+        window: &[f64],
+        combination: Combination,
+        scratch: &mut MatchBitset,
+    ) -> Option<f64> {
+        if !self.fill_firing(window, scratch) {
+            return None;
+        }
+        // Mirror RuleSetPredictor::predict_with term by term, in the same
+        // ascending rule order, so the f64 result is bit-identical.
+        let mut sum = 0.0;
+        let mut weight_sum = 0.0;
+        let mut count = 0usize;
+        for r in scratch.iter_ones() {
+            let w = match combination {
+                Combination::Mean => 1.0,
+                Combination::InverseErrorWeighted => 1.0 / (self.errors[r] + WEIGHT_EPS),
+            };
+            sum += w * self.evaluate_rule(r, window);
+            weight_sum += w;
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(sum / weight_sum)
+        }
+    }
+
+    /// [`RuleSetPredictor::predict_detailed`], compiled, with caller-owned
+    /// scratch.
+    pub fn predict_detailed_into(
+        &self,
+        window: &[f64],
+        scratch: &mut MatchBitset,
+    ) -> Option<PredictionDetail> {
+        if !self.fill_firing(window, scratch) {
+            return None;
+        }
+        let mut sum = 0.0;
+        let mut err_sum = 0.0;
+        let mut count = 0usize;
+        for r in scratch.iter_ones() {
+            sum += self.evaluate_rule(r, window);
+            err_sum += self.errors[r];
+            count += 1;
+        }
+        if count == 0 {
+            None
+        } else {
+            Some(PredictionDetail {
+                value: sum / count as f64,
+                firing_rules: count,
+                expected_error: err_sum / count as f64,
+            })
+        }
+    }
+
+    /// The hyperplane of rule `r` at `window` — the same expression as
+    /// [`crate::rule::Rule::predict`] over the flat payload row.
+    #[inline]
+    fn evaluate_rule(&self, r: usize, window: &[f64]) -> f64 {
+        let row = &self.coefficients[r * self.dims..(r + 1) * self.dims];
+        dot_unchecked(row, window) + self.intercepts[r]
+    }
+
+    /// Predict every example of a dataset. The sequential path (fewer than
+    /// `threshold` examples) reuses **one** scratch bitset across all
+    /// windows; the parallel path reuses one per [`PREDICT_CHUNK`]-window
+    /// chunk — never one per window.
+    pub fn predict_dataset<E: ExampleSet>(
+        &self,
+        data: &E,
+        combination: Combination,
+        threshold: usize,
+    ) -> Vec<Option<f64>> {
+        use rayon::prelude::*;
+        let n = data.len();
+        if self.rule_count == 0 {
+            return vec![None; n];
+        }
+        if n < threshold {
+            let mut scratch = self.scratch();
+            return (0..n)
+                .map(|i| self.predict_with_into(data.features(i), combination, &mut scratch))
+                .collect();
+        }
+        let chunks = n.div_ceil(PREDICT_CHUNK);
+        let parts: Vec<Vec<Option<f64>>> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let start = c * PREDICT_CHUNK;
+                let end = (start + PREDICT_CHUNK).min(n);
+                let mut scratch = self.scratch();
+                (start..end)
+                    .map(|i| self.predict_with_into(data.features(i), combination, &mut scratch))
+                    .collect()
+            })
+            .collect();
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{Condition, Rule};
+    use evoforecast_tsdata::window::WindowSpec;
+    use proptest::prelude::*;
+
+    fn rule(genes: Vec<Gene>, coefficients: Vec<f64>, intercept: f64, error: f64) -> Rule {
+        Rule {
+            condition: Condition::new(genes),
+            coefficients,
+            intercept,
+            prediction: intercept,
+            error,
+            matched: 5,
+        }
+    }
+
+    fn band(lo: f64, hi: f64, value: f64, error: f64) -> Rule {
+        rule(vec![Gene::bounded(lo, hi)], vec![0.0], value, error)
+    }
+
+    #[test]
+    fn empty_rule_set_always_abstains() {
+        let compiled = CompiledRuleSet::compile(&RuleSetPredictor::new(vec![]));
+        assert!(compiled.is_empty());
+        assert_eq!(compiled.len(), 0);
+        assert_eq!(compiled.dims(), 0);
+        assert_eq!(compiled.predict(&[]), None);
+    }
+
+    #[test]
+    fn matches_scan_on_hand_cases() {
+        let p = RuleSetPredictor::new(vec![
+            band(0.0, 10.0, 4.0, 0.1),
+            band(0.0, 5.0, 8.0, 0.3),
+            band(20.0, 30.0, 1.0, 0.2),
+        ]);
+        let compiled = CompiledRuleSet::compile(&p);
+        assert_eq!(compiled.len(), 3);
+        assert_eq!(compiled.dims(), 1);
+        for x in [
+            -1.0,
+            0.0,
+            3.0,
+            5.0,
+            5.0001,
+            7.0,
+            10.0,
+            10.5,
+            20.0,
+            25.0,
+            30.0,
+            31.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ] {
+            assert_eq!(compiled.predict(&[x]), p.predict(&[x]), "at x = {x}");
+        }
+    }
+
+    #[test]
+    fn closed_endpoints_are_inclusive() {
+        let p = RuleSetPredictor::new(vec![band(1.0, 3.0, 7.0, 0.1)]);
+        let compiled = CompiledRuleSet::compile(&p);
+        assert_eq!(compiled.predict(&[1.0]), Some(7.0));
+        assert_eq!(compiled.predict(&[3.0]), Some(7.0));
+        assert_eq!(compiled.predict(&[0.999]), None);
+        assert_eq!(compiled.predict(&[3.001]), None);
+    }
+
+    #[test]
+    fn negative_zero_boundary_agrees_with_ieee_equality() {
+        let p = RuleSetPredictor::new(vec![band(-0.0, 2.0, 7.0, 0.1)]);
+        let compiled = CompiledRuleSet::compile(&p);
+        // 0.0 == -0.0 in IEEE terms, so both sides must fire the rule.
+        assert_eq!(compiled.predict(&[0.0]), p.predict(&[0.0]));
+        assert_eq!(compiled.predict(&[-0.0]), p.predict(&[-0.0]));
+        assert_eq!(compiled.predict(&[0.0]), Some(7.0));
+    }
+
+    #[test]
+    fn nan_window_only_fires_wildcards() {
+        let p = RuleSetPredictor::new(vec![
+            band(0.0, 10.0, 4.0, 0.1),
+            rule(vec![Gene::Wildcard], vec![0.0], 9.0, 0.2),
+        ]);
+        let compiled = CompiledRuleSet::compile(&p);
+        // The wildcard rule fires; its hyperplane is 0·NaN + 9 = NaN, so
+        // compare bit patterns (NaN != NaN under PartialEq).
+        assert_eq!(
+            compiled.predict(&[f64::NAN]).map(f64::to_bits),
+            p.predict(&[f64::NAN]).map(f64::to_bits)
+        );
+        assert!(compiled.predict(&[f64::NAN]).unwrap().is_nan());
+        // A bounded-only rule set abstains on NaN outright.
+        let bounded = RuleSetPredictor::new(vec![band(0.0, 10.0, 4.0, 0.1)]);
+        let compiled = CompiledRuleSet::compile(&bounded);
+        assert_eq!(compiled.predict(&[f64::NAN]), None);
+        assert_eq!(bounded.predict(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn wildcard_axes_and_hyperplanes() {
+        let p = RuleSetPredictor::new(vec![
+            rule(
+                vec![Gene::bounded(0.0, 10.0), Gene::Wildcard],
+                vec![2.0, 1.0],
+                1.0,
+                0.1,
+            ),
+            rule(
+                vec![Gene::Wildcard, Gene::bounded(-5.0, 5.0)],
+                vec![0.5, 0.5],
+                0.0,
+                0.4,
+            ),
+        ]);
+        let compiled = CompiledRuleSet::compile(&p);
+        for w in [
+            [4.0, 100.0], // only rule 0
+            [4.0, 0.0],   // both
+            [40.0, 0.0],  // only rule 1
+            [40.0, 50.0], // neither
+        ] {
+            assert_eq!(compiled.predict(&w), p.predict(&w), "window {w:?}");
+            assert_eq!(
+                compiled.predict_with(&w, Combination::InverseErrorWeighted),
+                p.predict_with(&w, Combination::InverseErrorWeighted),
+            );
+        }
+    }
+
+    #[test]
+    fn detailed_matches_scan() {
+        let p = RuleSetPredictor::new(vec![band(0.0, 10.0, 4.0, 0.1), band(0.0, 5.0, 8.0, 0.3)]);
+        let compiled = CompiledRuleSet::compile(&p);
+        let mut scratch = compiled.scratch();
+        for x in [3.0, 7.0, 99.0] {
+            let a = compiled.predict_detailed_into(&[x], &mut scratch);
+            let b = p.predict_detailed(&[x]);
+            assert_eq!(a, b, "at x = {x}");
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_leaves_no_stale_state() {
+        let p = RuleSetPredictor::new(vec![band(0.0, 10.0, 4.0, 0.1), band(5.0, 20.0, 6.0, 0.1)]);
+        let compiled = CompiledRuleSet::compile(&p);
+        let mut scratch = compiled.scratch();
+        // Fire both, then a window firing none, then one again.
+        assert_eq!(
+            compiled.predict_with_into(&[7.0], Combination::Mean, &mut scratch),
+            Some(5.0)
+        );
+        assert_eq!(
+            compiled.predict_with_into(&[99.0], Combination::Mean, &mut scratch),
+            None
+        );
+        assert_eq!(
+            compiled.predict_with_into(&[2.0], Combination::Mean, &mut scratch),
+            Some(4.0)
+        );
+    }
+
+    #[test]
+    fn predict_dataset_reuses_scratch_and_matches_per_window() {
+        let vals: Vec<f64> = (0..200).map(|i| (i as f64 * 0.37).sin() * 50.0).collect();
+        let ds = WindowSpec::new(3, 1).unwrap().dataset(&vals).unwrap();
+        let p = RuleSetPredictor::new(vec![
+            rule(
+                vec![Gene::bounded(-40.0, 40.0), Gene::Wildcard, Gene::Wildcard],
+                vec![1.0, 0.5, -0.5],
+                0.3,
+                0.2,
+            ),
+            rule(
+                vec![Gene::Wildcard, Gene::bounded(0.0, 50.0), Gene::Wildcard],
+                vec![0.0, 1.0, 0.0],
+                -1.0,
+                0.1,
+            ),
+        ]);
+        let compiled = CompiledRuleSet::compile(&p);
+        let reference: Vec<Option<f64>> = (0..ds.len()).map(|i| p.predict(ds.window(i))).collect();
+        // Sequential (one scratch for everything) and parallel (one per
+        // chunk) both equal the per-window reference, bit for bit.
+        assert_eq!(
+            compiled.predict_dataset(&ds, Combination::Mean, usize::MAX),
+            reference
+        );
+        assert_eq!(
+            compiled.predict_dataset(&ds, Combination::Mean, 1),
+            reference
+        );
+        // And RuleSetPredictor::predict_dataset (now routed through the
+        // compiled path) is pinned to the same outputs.
+        assert_eq!(p.predict_dataset(&ds, usize::MAX), reference);
+        assert_eq!(p.predict_dataset(&ds, 1), reference);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed window lengths")]
+    fn mixed_dims_panic() {
+        let p = RuleSetPredictor::new(vec![
+            band(0.0, 1.0, 1.0, 0.1),
+            rule(
+                vec![Gene::bounded(0.0, 1.0), Gene::Wildcard],
+                vec![0.0, 0.0],
+                1.0,
+                0.1,
+            ),
+        ]);
+        CompiledRuleSet::compile(&p);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn compiled_is_bit_identical_to_scan(
+            gene_specs in proptest::collection::vec(
+                proptest::collection::vec(
+                    // None = wildcard, Some((lo, width)) = bounded interval.
+                    proptest::option::of((-50.0..50.0f64, 0.0..40.0f64)),
+                    3..=3,
+                ),
+                1..12,
+            ),
+            payload in proptest::collection::vec(
+                (-2.0..2.0f64, -2.0..2.0f64, -2.0..2.0f64, -5.0..5.0f64, 0.0..3.0f64),
+                12,
+            ),
+            windows in proptest::collection::vec(
+                proptest::collection::vec(-70.0..70.0f64, 3..=3),
+                1..20,
+            ),
+        ) {
+            let rules: Vec<Rule> = gene_specs
+                .iter()
+                .zip(payload.iter())
+                .map(|(spec, &(a, b, c, intercept, error))| {
+                    let genes: Vec<Gene> = spec
+                        .iter()
+                        .map(|g| match g {
+                            Some((lo, width)) => Gene::bounded(*lo, lo + width),
+                            None => Gene::Wildcard,
+                        })
+                        .collect();
+                    rule(genes, vec![a, b, c], intercept, error)
+                })
+                .collect();
+            let p = RuleSetPredictor::new(rules);
+            let compiled = CompiledRuleSet::compile(&p);
+            let mut scratch = compiled.scratch();
+            for w in &windows {
+                for combination in [Combination::Mean, Combination::InverseErrorWeighted] {
+                    let scan = p.predict_with(w, combination);
+                    let fast = compiled.predict_with_into(w, combination, &mut scratch);
+                    // Bit-identical, not approximately equal.
+                    prop_assert_eq!(scan.map(f64::to_bits), fast.map(f64::to_bits));
+                }
+            }
+        }
+    }
+}

@@ -44,6 +44,7 @@
 pub mod analysis;
 pub mod bitset;
 pub mod checkpoint;
+pub mod compiled;
 pub mod config;
 pub mod crossover;
 pub mod dataset;
@@ -67,6 +68,7 @@ pub mod supervisor;
 
 pub use bitset::MatchBitset;
 pub use checkpoint::{CheckpointError, EnsembleCheckpoint, ExecutionOutcome, OutcomeStatus};
+pub use compiled::CompiledRuleSet;
 pub use config::{EngineConfig, EnsembleConfig, MutationConfig};
 pub use dataset::{ColumnStore, ExampleSet, TabularExamples};
 pub use engine::{Engine, GenericEngine};

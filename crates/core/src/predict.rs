@@ -13,6 +13,11 @@ use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
 
+/// Small regularizer in the inverse-error weighting so a zero-error rule
+/// doesn't get infinite weight. Shared with [`crate::compiled`] so the
+/// compiled predictor's weights are bit-identical.
+pub(crate) const WEIGHT_EPS: f64 = 1e-9;
+
 /// How the outputs of simultaneously firing rules are combined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum Combination {
@@ -104,8 +109,6 @@ impl RuleSetPredictor {
 
     /// Predict with an explicit combination strategy.
     pub fn predict_with(&self, window: &[f64], combination: Combination) -> Option<f64> {
-        // Small regularizer so a zero-error rule doesn't get infinite weight.
-        const EPS: f64 = 1e-9;
         let mut sum = 0.0;
         let mut weight_sum = 0.0;
         let mut count = 0usize;
@@ -113,7 +116,7 @@ impl RuleSetPredictor {
             if r.condition.matches(window) {
                 let w = match combination {
                     Combination::Mean => 1.0,
-                    Combination::InverseErrorWeighted => 1.0 / (r.error + EPS),
+                    Combination::InverseErrorWeighted => 1.0 / (r.error + WEIGHT_EPS),
                 };
                 sum += w * r.predict(window);
                 weight_sum += w;
@@ -151,8 +154,22 @@ impl RuleSetPredictor {
     }
 
     /// Predict every example of a dataset (parallel above `threshold`).
+    ///
+    /// Routed through a [`crate::compiled::CompiledRuleSet`] so the firing
+    /// set comes from per-dimension binary searches + bitset ANDs, with one
+    /// scratch match-bitset reused across all windows (per chunk on the
+    /// parallel path) instead of any per-window allocation. Outputs are
+    /// bit-identical to calling [`RuleSetPredictor::predict`] per window —
+    /// pinned by tests in [`crate::compiled`].
     pub fn predict_dataset<E: ExampleSet>(&self, data: &E, threshold: usize) -> Vec<Option<f64>> {
-        crate::parallel::batch_predict(data, threshold, |w| self.predict(w))
+        if self.rules.is_empty() {
+            return vec![None; data.len()];
+        }
+        crate::compiled::CompiledRuleSet::compile(self).predict_dataset(
+            data,
+            Combination::Mean,
+            threshold,
+        )
     }
 
     /// Remove rules made redundant by better rules, judged against a

@@ -1,0 +1,103 @@
+//! Shared plumbing for the socket-level integration suites: a tiny blocking
+//! HTTP client and model fixtures.
+
+use evoforecast_core::rule::{Condition, Gene, Rule};
+use evoforecast_core::RuleSetPredictor;
+use evoforecast_serve::registry::ModelRegistry;
+use evoforecast_serve::server::{Server, ServerConfig};
+use evoforecast_serve::{ErrorKind, ErrorResponse};
+use evoforecast_tsdata::window::WindowSpec;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A parsed HTTP reply.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    pub status: u16,
+    pub body: String,
+}
+
+impl Reply {
+    /// Parse the JSON body as a typed error and return its kind.
+    pub fn error_kind(&self) -> ErrorKind {
+        let err: ErrorResponse = serde_json::from_str(&self.body)
+            .unwrap_or_else(|e| panic!("not an ErrorResponse: {e} in {:?}", self.body));
+        err.error
+    }
+}
+
+/// Send raw bytes, read the whole reply, parse the status line.
+pub fn raw_round_trip(addr: SocketAddr, payload: &[u8]) -> Reply {
+    let mut conn = TcpStream::connect(addr).expect("connect");
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(payload).expect("send");
+    conn.shutdown(std::net::Shutdown::Write).ok();
+    read_reply(&mut conn)
+}
+
+/// Read and parse a reply from an already-open connection.
+pub fn read_reply(conn: &mut TcpStream) -> Reply {
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).expect("read reply");
+    parse_reply(&raw)
+}
+
+pub fn parse_reply(raw: &str) -> Reply {
+    let status = raw
+        .strip_prefix("HTTP/1.1 ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|code| code.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable reply: {raw:?}"));
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Reply { status, body }
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Reply {
+    let payload = format!(
+        "POST {path} HTTP/1.1\r\nhost: t\r\ncontent-type: application/json\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_round_trip(addr, payload.as_bytes())
+}
+
+/// `GET path`.
+pub fn get(addr: SocketAddr, path: &str) -> Reply {
+    raw_round_trip(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nhost: t\r\n\r\n").as_bytes(),
+    )
+}
+
+/// A D=2, τ=1 rule set whose prediction in `[0, 100]²` is `value`.
+pub fn flat_predictor(value: f64) -> RuleSetPredictor {
+    let rule = Rule {
+        condition: Condition::new(vec![Gene::bounded(0.0, 100.0), Gene::bounded(0.0, 100.0)]),
+        coefficients: vec![0.0, 0.0],
+        intercept: value,
+        prediction: value,
+        error: 0.1,
+        matched: 5,
+    };
+    RuleSetPredictor::new(vec![rule])
+}
+
+pub fn spec() -> WindowSpec {
+    WindowSpec::new(2, 1).unwrap()
+}
+
+/// Start a server on an ephemeral port with one `default` slot predicting
+/// `value`.
+pub fn start_server(config: ServerConfig, value: f64) -> Server {
+    let registry = Arc::new(ModelRegistry::new());
+    registry
+        .install("default", spec(), flat_predictor(value))
+        .expect("install fixture model");
+    Server::start(config, registry).expect("start server")
+}

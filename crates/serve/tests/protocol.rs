@@ -1,0 +1,249 @@
+//! Wire-protocol hardening, driven through real sockets: every malformed or
+//! over-limit input must come back as a typed JSON error — never a panic, a
+//! hang, or a silently dropped connection — and the server must keep
+//! serving valid traffic afterwards.
+
+mod common;
+
+use common::{get, parse_reply, post, raw_round_trip, start_server};
+use evoforecast_serve::server::ServerConfig;
+use evoforecast_serve::{ErrorKind, ForecastResponse};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn tight_config() -> ServerConfig {
+    ServerConfig {
+        max_batch: 4,
+        max_body_bytes: 4096,
+        ..ServerConfig::default()
+    }
+}
+
+#[test]
+fn typed_errors_for_every_malformed_input() {
+    let server = start_server(tight_config(), 42.0);
+    let addr = server.local_addr();
+
+    // Malformed JSON body.
+    let r = post(addr, "/forecast", "{not json");
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::BadRequest);
+
+    // Valid JSON, wrong shape (windows is not an array of arrays).
+    let r = post(addr, "/forecast", r#"{"windows": 3}"#);
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::BadRequest);
+
+    // Empty batch.
+    let r = post(addr, "/forecast", r#"{"windows": []}"#);
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::EmptyRequest);
+
+    // Wrong window length vs the model's D = 2.
+    let r = post(addr, "/forecast", r#"{"windows": [[1.0, 2.0, 3.0]]}"#);
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::WindowLengthMismatch);
+
+    // Non-finite window value (JSON null parses as NaN).
+    let r = post(addr, "/forecast", r#"{"windows": [[1.0, null]]}"#);
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::NonFiniteInput);
+
+    // Oversized micro-batch (cap is 4).
+    let batch: Vec<&str> = std::iter::repeat_n("[1.0, 2.0]", 5).collect();
+    let r = post(
+        addr,
+        "/forecast",
+        &format!(r#"{{"windows": [{}]}}"#, batch.join(",")),
+    );
+    assert_eq!(r.status, 413);
+    assert_eq!(r.error_kind(), ErrorKind::BatchTooLarge);
+
+    // Unknown model slot.
+    let r = post(
+        addr,
+        "/forecast",
+        r#"{"model": "ghost", "windows": [[1.0, 2.0]]}"#,
+    );
+    assert_eq!(r.status, 404);
+    assert_eq!(r.error_kind(), ErrorKind::ModelNotFound);
+
+    // Zero horizon.
+    let r = post(
+        addr,
+        "/forecast",
+        r#"{"windows": [[1.0, 2.0]], "horizon": 0}"#,
+    );
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::BadRequest);
+
+    // Unknown route and wrong method.
+    let r = get(addr, "/nope");
+    assert_eq!(r.status, 404);
+    assert_eq!(r.error_kind(), ErrorKind::NotFound);
+    let r = get(addr, "/forecast");
+    assert_eq!(r.status, 405);
+    assert_eq!(r.error_kind(), ErrorKind::MethodNotAllowed);
+
+    // Not even HTTP.
+    let r = raw_round_trip(addr, b"EHLO forecast\r\n\r\n");
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::BadRequest);
+
+    // Declared body larger than the cap: rejected from the header alone.
+    let r = raw_round_trip(
+        addr,
+        b"POST /forecast HTTP/1.1\r\ncontent-length: 999999\r\n\r\n",
+    );
+    assert_eq!(r.status, 413);
+    assert_eq!(r.error_kind(), ErrorKind::PayloadTooLarge);
+
+    // After all of that abuse the server still answers valid requests.
+    let r = post(addr, "/forecast", r#"{"windows": [[1.0, 2.0]]}"#);
+    assert_eq!(r.status, 200, "{}", r.body);
+    let resp: ForecastResponse = serde_json::from_str(&r.body).unwrap();
+    assert_eq!(resp.predictions, vec![Some(42.0)]);
+    assert_eq!(resp.abstained, 0);
+
+    let stats = get(addr, "/stats");
+    assert_eq!(stats.status, 200);
+    assert!(stats.body.contains("\"errors\""), "{}", stats.body);
+
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_horizon_is_typed() {
+    // τ = 3 model: closed-loop horizon must be refused.
+    let registry = std::sync::Arc::new(evoforecast_serve::registry::ModelRegistry::new());
+    registry
+        .install(
+            "default",
+            evoforecast_tsdata::window::WindowSpec::new(2, 3).unwrap(),
+            common::flat_predictor(7.0),
+        )
+        .unwrap();
+    let server =
+        evoforecast_serve::server::Server::start(ServerConfig::default(), registry).unwrap();
+    let r = post(
+        server.local_addr(),
+        "/forecast",
+        r#"{"windows": [[1.0, 2.0]], "horizon": 4}"#,
+    );
+    assert_eq!(r.status, 400);
+    assert_eq!(r.error_kind(), ErrorKind::UnsupportedHorizon);
+    // horizon = 1 still answers at the trained τ.
+    let r = post(
+        server.local_addr(),
+        "/forecast",
+        r#"{"windows": [[1.0, 2.0]]}"#,
+    );
+    assert_eq!(r.status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn deadline_exceeded_is_typed_not_dropped() {
+    let server = start_server(
+        ServerConfig {
+            deadline: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+        1.0,
+    );
+    // Connect, then stall: the worker's read times out at the deadline and
+    // must still answer with a typed 504.
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    let r = parse_reply(&raw);
+    assert_eq!(r.status, 504, "{raw}");
+    assert_eq!(r.error_kind(), ErrorKind::DeadlineExceeded);
+    server.shutdown();
+}
+
+#[test]
+fn half_sent_body_is_answered_not_hung() {
+    let server = start_server(
+        ServerConfig {
+            deadline: Duration::from_millis(150),
+            ..ServerConfig::default()
+        },
+        1.0,
+    );
+    // Declare 100 bytes, send 10, stall. Must resolve as a typed error at
+    // the deadline rather than holding the worker forever.
+    let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    conn.write_all(b"POST /forecast HTTP/1.1\r\ncontent-length: 100\r\n\r\n0123456789")
+        .unwrap();
+    let mut raw = String::new();
+    conn.read_to_string(&mut raw).unwrap();
+    let r = parse_reply(&raw);
+    assert_eq!(r.status, 504, "{raw}");
+    assert_eq!(r.error_kind(), ErrorKind::DeadlineExceeded);
+    server.shutdown();
+}
+
+#[test]
+fn batch_detail_and_combination_over_the_wire() {
+    let server = start_server(ServerConfig::default(), 10.0);
+    let addr = server.local_addr();
+    let r = post(
+        addr,
+        "/forecast",
+        r#"{"windows": [[1.0, 2.0], [500.0, 500.0]], "detail": true, "combination": "inverse-error-weighted"}"#,
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    let resp: ForecastResponse = serde_json::from_str(&r.body).unwrap();
+    assert_eq!(resp.predictions.len(), 2);
+    assert_eq!(resp.predictions[0], Some(10.0));
+    assert_eq!(resp.predictions[1], None); // outside every rule: abstains
+    assert_eq!(resp.abstained, 1);
+    let details = resp.details.expect("detail opt-in");
+    assert_eq!(details[0].as_ref().unwrap().firing_rules, 1);
+    assert!(details[1].is_none());
+    server.shutdown();
+}
+
+#[test]
+fn scan_and_compiled_engines_agree_over_the_wire() {
+    let server = start_server(ServerConfig::default(), 3.5);
+    let addr = server.local_addr();
+    let body = r#"{"windows": [[1.0, 2.0], [90.0, 10.0]], "engine": "compiled"}"#;
+    let compiled: ForecastResponse =
+        serde_json::from_str(&post(addr, "/forecast", body).body).unwrap();
+    let body = r#"{"windows": [[1.0, 2.0], [90.0, 10.0]], "engine": "scan"}"#;
+    let scan: ForecastResponse = serde_json::from_str(&post(addr, "/forecast", body).body).unwrap();
+    assert_eq!(compiled.predictions, scan.predictions);
+    server.shutdown();
+}
+
+#[test]
+fn introspection_endpoints_answer() {
+    let server = start_server(ServerConfig::default(), 1.0);
+    let addr = server.local_addr();
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"ok\""), "{}", health.body);
+
+    let models = get(addr, "/models");
+    assert_eq!(models.status, 200);
+    let infos: Vec<evoforecast_serve::ModelInfo> = serde_json::from_str(&models.body).unwrap();
+    assert_eq!(infos.len(), 1);
+    assert_eq!(infos[0].name, "default");
+    assert_eq!(infos[0].window, 2);
+    assert_eq!(infos[0].version, 1);
+
+    let stats = get(addr, "/stats");
+    assert_eq!(stats.status, 200);
+    let snap: evoforecast_serve::StatsSnapshot = serde_json::from_str(&stats.body).unwrap();
+    assert!(snap.requests >= 2);
+    server.shutdown();
+}

@@ -12,4 +12,5 @@ pub use evoforecast_core as core;
 pub use evoforecast_linalg as linalg;
 pub use evoforecast_metrics as metrics;
 pub use evoforecast_neural as neural;
+pub use evoforecast_serve as serve;
 pub use evoforecast_tsdata as tsdata;

@@ -1,24 +1,71 @@
 //! Offline vendored subset of the `crossbeam` API.
 //!
-//! Only [`channel::unbounded`] and the [`channel::Sender`] /
-//! [`channel::Receiver`] pair are provided, backed by `std::sync::mpsc`
-//! (whose `Sender` is `Sync` since Rust 1.72, which is all the parallel
-//! ensemble needs to share one sender across worker threads).
+//! Two channel flavors are provided, both backed by `std::sync::mpsc`:
+//!
+//! * [`channel::unbounded`] — what the parallel ensemble uses to collect
+//!   results (`std::sync::mpsc::Sender` is `Sync` since Rust 1.72, which is
+//!   all that path needs to share one sender across worker threads).
+//! * [`channel::bounded`] — a fixed-capacity queue with non-blocking
+//!   [`channel::Sender::try_send`], the backpressure primitive behind the
+//!   forecast server's load-shedding admission queue.
+//!
+//! Like real crossbeam (and unlike raw `mpsc`), [`channel::Receiver`] is
+//! `Clone` and multi-consumer: each message is delivered to exactly one
+//! receiver. The shim serializes consumers through a mutex, which is fine at
+//! the message rates a connection queue sees.
 
 #![warn(missing_docs)]
 
 pub mod channel {
-    //! Multi-producer channels.
+    //! Multi-producer, multi-consumer channels.
 
     use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
 
-    /// Sending half of an unbounded channel.
-    #[derive(Debug, Clone)]
-    pub struct Sender<T>(mpsc::Sender<T>);
+    enum SenderFlavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
 
-    /// Receiving half of an unbounded channel.
-    #[derive(Debug)]
-    pub struct Receiver<T>(mpsc::Receiver<T>);
+    impl<T> Clone for SenderFlavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderFlavor::Unbounded(tx) => SenderFlavor::Unbounded(tx.clone()),
+                SenderFlavor::Bounded(tx) => SenderFlavor::Bounded(tx.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(SenderFlavor<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> std::fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    /// Receiving half of a channel. Cloneable; each message is delivered to
+    /// exactly one receiver.
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> std::fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
 
     /// Error returned when the receiving side has been dropped.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,35 +77,111 @@ pub mod channel {
         }
     }
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; the message comes back to the caller.
+        Full(T),
+        /// Every receiver was dropped; the message comes back to the caller.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
     impl<T> Sender<T> {
-        /// Send a message; fails only when the receiver was dropped.
+        /// Send a message, blocking while a bounded channel is full; fails
+        /// only when the receiver was dropped.
         ///
         /// # Errors
         /// [`SendError`] carrying the unsent message back.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.0.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+            match &self.0 {
+                SenderFlavor::Unbounded(tx) => {
+                    tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+                }
+                SenderFlavor::Bounded(tx) => {
+                    tx.send(msg).map_err(|mpsc::SendError(m)| SendError(m))
+                }
+            }
+        }
+
+        /// Send without blocking: on a full bounded channel the message is
+        /// rejected immediately instead of queueing — the load-shedding
+        /// primitive.
+        ///
+        /// # Errors
+        /// [`TrySendError::Full`] when at capacity (bounded channels only),
+        /// [`TrySendError::Disconnected`] when every receiver was dropped.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            match &self.0 {
+                SenderFlavor::Unbounded(tx) => tx
+                    .send(msg)
+                    .map_err(|mpsc::SendError(m)| TrySendError::Disconnected(m)),
+                SenderFlavor::Bounded(tx) => tx.try_send(msg).map_err(|e| match e {
+                    mpsc::TrySendError::Full(m) => TrySendError::Full(m),
+                    mpsc::TrySendError::Disconnected(m) => TrySendError::Disconnected(m),
+                }),
+            }
         }
     }
 
     impl<T> Receiver<T> {
         /// Iterate over the messages currently queued without blocking.
-        pub fn try_iter(&self) -> impl Iterator<Item = T> + '_ {
-            self.0.try_iter()
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter(self.0.lock().expect("channel receiver poisoned"))
         }
 
-        /// Receive one message, blocking until one arrives.
+        /// Receive one message, blocking until one arrives. Messages already
+        /// queued are still delivered after every sender is dropped; only an
+        /// empty, disconnected channel errors — which is what lets a worker
+        /// pool drain its queue before exiting.
         ///
         /// # Errors
         /// Errors when every sender was dropped and the queue is empty.
         pub fn recv(&self) -> Result<T, mpsc::RecvError> {
-            self.0.recv()
+            self.0.lock().expect("channel receiver poisoned").recv()
+        }
+    }
+
+    /// Non-blocking draining iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T>(std::sync::MutexGuard<'a, mpsc::Receiver<T>>);
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.0.try_recv().ok()
         }
     }
 
     /// Create an unbounded channel.
     pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::channel();
-        (Sender(tx), Receiver(rx))
+        (
+            Sender(SenderFlavor::Unbounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
+    }
+
+    /// Create a bounded channel holding at most `cap` queued messages.
+    ///
+    /// # Panics
+    /// Panics when `cap` is zero (rendezvous channels are not part of this
+    /// shim's API slice).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded channel capacity must be at least 1");
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender(SenderFlavor::Bounded(tx)),
+            Receiver(Arc::new(Mutex::new(rx))),
+        )
     }
 
     #[cfg(test)]
@@ -79,6 +202,9 @@ pub mod channel {
             let (tx, rx) = unbounded::<u8>();
             drop(rx);
             assert!(tx.send(1).is_err());
+            let (tx, rx) = bounded::<u8>(2);
+            drop(rx);
+            assert!(matches!(tx.try_send(1), Err(TrySendError::Disconnected(1))));
         }
 
         #[test]
@@ -93,6 +219,66 @@ pub mod channel {
             let mut got: Vec<usize> = rx.try_iter().collect();
             got.sort_unstable();
             assert_eq!(got, vec![0, 1, 2, 3]);
+        }
+
+        #[test]
+        fn bounded_try_send_sheds_at_capacity() {
+            let (tx, rx) = bounded::<u8>(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.try_send(3).unwrap();
+            let got: Vec<u8> = rx.try_iter().collect();
+            assert_eq!(got, vec![2, 3]);
+        }
+
+        #[test]
+        fn queued_messages_survive_sender_drop() {
+            let (tx, rx) = bounded::<u8>(4);
+            tx.send(7).unwrap();
+            tx.send(8).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert_eq!(rx.recv().unwrap(), 8);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn cloned_receivers_split_the_stream() {
+            let (tx, rx) = bounded::<usize>(8);
+            let rx2 = rx.clone();
+            for i in 0..6 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            std::thread::scope(|scope| {
+                let a = scope.spawn(|| {
+                    let mut v = Vec::new();
+                    while let Ok(x) = rx.recv() {
+                        v.push(x);
+                    }
+                    v
+                });
+                let b = scope.spawn(|| {
+                    let mut v = Vec::new();
+                    while let Ok(x) = rx2.recv() {
+                        v.push(x);
+                    }
+                    v
+                });
+                got.extend(a.join().unwrap());
+                got.extend(b.join().unwrap());
+            });
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+        }
+
+        #[test]
+        #[should_panic(expected = "at least 1")]
+        fn zero_capacity_panics() {
+            bounded::<u8>(0);
         }
     }
 }
