@@ -1,0 +1,443 @@
+//! A lightweight Rust token scanner — just enough lexical structure for
+//! line-accurate invariant lints, with no syn/proc-macro machinery (the
+//! build environment is offline; the auditor carries the same
+//! vendored-only discipline as the rest of the workspace).
+//!
+//! The scanner understands the token classes that matter for *not lying
+//! about code*: line and (nested) block comments, string/char/byte/raw
+//! literals, lifetimes vs char literals, raw identifiers, numbers, and
+//! single-character punctuation. Everything a rule inspects is a real code
+//! token; text inside comments or string literals can never trip a lint.
+
+/// One lexical token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Source text (identifier name, comment body, literal text, or the
+    /// punctuation character).
+    pub text: String,
+    /// 1-based line number of the token's first character.
+    pub line: u32,
+}
+
+/// Lexical class of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers are unescaped: `r#type` → `type`).
+    Ident,
+    /// A single punctuation character.
+    Punct,
+    /// String literal of any flavor (`"…"`, `r#"…"#`, `b"…"`), text is the
+    /// literal's *contents* (escapes left as written).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Number,
+    /// `// …` comment, including doc comments (`///`, `//!`); text excludes
+    /// the leading slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled); text excludes the delimiters.
+    BlockComment,
+    /// Lifetime (`'a`) or loop label; text excludes the quote.
+    Lifetime,
+}
+
+impl Token {
+    /// Is this token a comment of either flavor?
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Is this an identifier with exactly this name?
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// Tokenize Rust source. The scanner is total: any byte sequence produces a
+/// token stream (unterminated literals consume to end of input), so a
+/// half-written fixture can never panic the auditor.
+pub fn tokenize(source: &str) -> Vec<Token> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advance over `chars[from..to]`, counting newlines into `line`.
+    fn count_lines(chars: &[char], from: usize, to: usize, line: &mut u32) {
+        for &c in &chars[from..to] {
+            if c == '\n' {
+                *line += 1;
+            }
+        }
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let start_line = line;
+
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let mut j = i + 2;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::LineComment,
+                    text: chars[i + 2..j].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && j + 1 < chars.len() && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < chars.len() && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                count_lines(&chars, i, j, &mut line);
+                let end = j.saturating_sub(2).max(i + 2);
+                tokens.push(Token {
+                    kind: TokenKind::BlockComment,
+                    text: chars[i + 2..end].iter().collect(),
+                    line: start_line,
+                });
+                i = j;
+                continue;
+            }
+        }
+
+        // Raw strings and raw identifiers: r"…", r#"…"#, br"…", r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < chars.len() {
+            // Figure out the prefix shape without committing yet.
+            let mut j = i;
+            if c == 'b' && j + 1 < chars.len() && chars[j + 1] == 'r' {
+                j += 2;
+            } else if c == 'r' || c == 'b' {
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while j < chars.len() && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            let at_quote = j < chars.len() && chars[j] == '"';
+            let raw_prefix = c == 'r' || (c == 'b' && i + 1 < chars.len() && chars[i + 1] == 'r');
+            if at_quote && raw_prefix {
+                // Raw string: scan for closing quote + same number of hashes.
+                let body_start = j + 1;
+                let mut k = body_start;
+                'raw: while k < chars.len() {
+                    if chars[k] == '"' {
+                        let mut h = 0usize;
+                        while k + 1 + h < chars.len() && chars[k + 1 + h] == '#' && h < hashes {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                let body_end = k.min(chars.len());
+                count_lines(&chars, i, body_end, &mut line);
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: chars[body_start..body_end].iter().collect(),
+                    line: start_line,
+                });
+                i = (body_end + 1 + hashes).min(chars.len());
+                continue;
+            }
+            // Raw identifier r#name.
+            if c == 'r' && hashes == 1 && j < chars.len() && is_ident_start(chars[j]) {
+                let mut k = j;
+                while k < chars.len() && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: chars[j..k].iter().collect(),
+                    line: start_line,
+                });
+                i = k;
+                continue;
+            }
+            // Otherwise fall through: plain ident starting with r/b, or b"…".
+        }
+
+        // Byte string b"…" (non-raw).
+        if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '"' {
+            let (text, next, nl) = scan_quoted(&chars, i + 1, '"');
+            line += nl;
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line: start_line,
+            });
+            i = next;
+            continue;
+        }
+        // Byte char b'…'.
+        if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '\'' {
+            let (text, next, nl) = scan_quoted(&chars, i + 1, '\'');
+            line += nl;
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text,
+                line: start_line,
+            });
+            i = next;
+            continue;
+        }
+
+        // String literal.
+        if c == '"' {
+            let (text, next, nl) = scan_quoted(&chars, i, '"');
+            line += nl;
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line: start_line,
+            });
+            i = next;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by a quote right after.
+            if i + 1 < chars.len() && is_ident_start(chars[i + 1]) {
+                let mut k = i + 2;
+                while k < chars.len() && is_ident_continue(chars[k]) {
+                    k += 1;
+                }
+                // 'a' is a char literal; 'abc (no closing quote) is a lifetime.
+                if !(k < chars.len() && chars[k] == '\'') {
+                    tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: chars[i + 1..k].iter().collect(),
+                        line: start_line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            let (text, next, nl) = scan_quoted(&chars, i, '\'');
+            line += nl;
+            tokens.push(Token {
+                kind: TokenKind::Char,
+                text,
+                line: start_line,
+            });
+            i = next;
+            continue;
+        }
+
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let mut k = i + 1;
+            while k < chars.len() && is_ident_continue(chars[k]) {
+                k += 1;
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: chars[i..k].iter().collect(),
+                line: start_line,
+            });
+            i = k;
+            continue;
+        }
+
+        // Number: digits, then a conservative tail (hex/bin/oct/float/suffix).
+        if c.is_ascii_digit() {
+            let mut k = i + 1;
+            while k < chars.len() {
+                let d = chars[k];
+                if d.is_ascii_alphanumeric() || d == '_' {
+                    k += 1;
+                } else if d == '.'
+                    && k + 1 < chars.len()
+                    && chars[k + 1].is_ascii_digit()
+                    && !matches!(chars.get(k.wrapping_sub(1)), Some('.'))
+                {
+                    // Decimal point followed by a digit (not a `..` range).
+                    k += 1;
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Number,
+                text: chars[i..k].iter().collect(),
+                line: start_line,
+            });
+            i = k;
+            continue;
+        }
+
+        // Single-character punctuation.
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line: start_line,
+        });
+        i += 1;
+    }
+    tokens
+}
+
+/// Scan a quoted literal starting at the opening quote index; returns the
+/// contents, the index just past the closing quote, and newlines consumed.
+fn scan_quoted(chars: &[char], open: usize, quote: char) -> (String, usize, u32) {
+    let mut k = open + 1;
+    let mut newlines = 0u32;
+    while k < chars.len() {
+        match chars[k] {
+            '\\' => k += 2,
+            '\n' => {
+                newlines += 1;
+                k += 1;
+            }
+            c if c == quote => {
+                return (chars[open + 1..k].iter().collect(), k + 1, newlines);
+            }
+            _ => k += 1,
+        }
+    }
+    (
+        chars[(open + 1).min(chars.len())..].iter().collect(),
+        chars.len(),
+        newlines,
+    )
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let ts = kinds("let x = 42 + y_2;");
+        assert_eq!(
+            ts,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, "+".into()),
+                (TokenKind::Ident, "y_2".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_do_not_leak_code_tokens() {
+        let ts = kinds("// unwrap() here is fine\nok();");
+        assert_eq!(ts[0].0, TokenKind::LineComment);
+        assert!(ts[0].1.contains("unwrap"));
+        assert_eq!(ts[1], (TokenKind::Ident, "ok".into()));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("/* a /* b */ c */ x");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].0, TokenKind::BlockComment);
+        assert_eq!(ts[1], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let ts = kinds(r#"let s = "unwrap() \" quoted"; done"#);
+        assert_eq!(ts[3].0, TokenKind::Str);
+        assert_eq!(ts[5], (TokenKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ts = kinds(r###"let s = r#"a "quoted" b"#; x"###);
+        assert_eq!(ts[3].0, TokenKind::Str);
+        assert_eq!(ts[3].1, r#"a "quoted" b"#);
+        assert_eq!(ts[5], (TokenKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'q'; }");
+        assert!(ts
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && t == "a"));
+        assert!(ts.iter().any(|(k, t)| *k == TokenKind::Char && t == "q"));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let ts = tokenize("a\nb\n\nc");
+        assert_eq!(ts[0].line, 1);
+        assert_eq!(ts[1].line, 2);
+        assert_eq!(ts[2].line, 4);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let ts = tokenize("let s = \"a\nb\";\nafter");
+        let after = ts.iter().find(|t| t.is_ident("after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn raw_identifier_unescapes() {
+        let ts = kinds("r#type x");
+        assert_eq!(ts[0], (TokenKind::Ident, "type".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_total() {
+        let ts = tokenize("let s = \"never closed");
+        assert_eq!(ts.last().unwrap().kind, TokenKind::Str);
+    }
+}

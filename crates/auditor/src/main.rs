@@ -1,0 +1,167 @@
+//! CLI for the workspace invariant auditor.
+//!
+//! ```text
+//! evoforecast-auditor check [--root DIR] [--format text|json] [--rule NAME]...
+//! evoforecast-auditor rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` findings, `2` usage or I/O error — so CI can
+//! distinguish "the code is wrong" from "the gate is broken".
+
+#![forbid(unsafe_code)]
+
+use evoforecast_auditor::rules::{RuleId, ALL_RULES};
+use evoforecast_auditor::{diag::Report, run_audit};
+use std::io::{self, Write};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+evoforecast-auditor — workspace invariant auditor
+
+USAGE:
+    evoforecast-auditor check [--root DIR] [--format text|json] [--rule NAME]...
+    evoforecast-auditor rules
+
+OPTIONS:
+    --root DIR       workspace root to audit (default: current directory)
+    --format FMT     output format: text (default) or json
+    --rule NAME      run only the named rule; repeatable
+
+EXIT CODES:
+    0  no findings
+    1  findings reported
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parse arguments and dispatch; `Err` carries a usage/I-O message (exit 2).
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(cmd) = args.first() else {
+        eprint!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    match cmd.as_str() {
+        "rules" => {
+            let mut names = String::new();
+            for r in ALL_RULES {
+                names.push_str(r.id());
+                names.push('\n');
+            }
+            write_stdout(&names)?;
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => check(&args[1..]),
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command {other:?}; try --help")),
+    }
+}
+
+/// The `check` subcommand.
+fn check(args: &[String]) -> Result<ExitCode, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut selected: Vec<RuleId> = Vec::new();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--format" => {
+                format = match it
+                    .next()
+                    .ok_or_else(|| "--format needs text|json".to_string())?
+                    .as_str()
+                {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?}; use text or json")),
+                };
+            }
+            "--rule" => {
+                let name = it.next().ok_or_else(|| "--rule needs a name".to_string())?;
+                let rule = RuleId::from_id(name)
+                    .ok_or_else(|| format!("unknown rule {name:?}; see `rules`"))?;
+                if !selected.contains(&rule) {
+                    selected.push(rule);
+                }
+            }
+            other => return Err(format!("unknown option {other:?}; try --help")),
+        }
+    }
+    if selected.is_empty() {
+        selected.extend(ALL_RULES);
+    }
+
+    let report = run_audit(&root, &selected)
+        .map_err(|e| format!("failed to audit {}: {e}", root.display()))?;
+    render(&report, format)?;
+    Ok(if report.clean {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+/// Output formats for `check`.
+#[derive(Clone, Copy)]
+enum Format {
+    /// `file:line: [rule] message` lines plus a summary.
+    Text,
+    /// One JSON [`Report`] object.
+    Json,
+}
+
+/// Print the report in the chosen format.
+fn render(report: &Report, format: Format) -> Result<(), String> {
+    let mut text = String::new();
+    match format {
+        Format::Text => {
+            for d in &report.diagnostics {
+                text.push_str(&d.render());
+                text.push('\n');
+            }
+            text.push_str(&format!(
+                "audit: {} file(s), {} rule(s), {} finding(s) — {}\n",
+                report.files_scanned,
+                report.rules.len(),
+                report.diagnostics.len(),
+                if report.clean { "clean" } else { "FAILED" }
+            ));
+        }
+        Format::Json => {
+            text = serde_json::to_string_pretty(report)
+                .map_err(|e| format!("serializing report: {e}"))?;
+            text.push('\n');
+        }
+    }
+    write_stdout(&text)
+}
+
+/// Write to stdout, tolerating a closed pipe: `check --format json | head`
+/// must end output early, not panic the way `println!` does.
+fn write_stdout(text: &str) -> Result<(), String> {
+    match io::stdout().lock().write_all(text.as_bytes()) {
+        Ok(()) => Ok(()),
+        Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Ok(()),
+        Err(e) => Err(format!("writing report: {e}")),
+    }
+}

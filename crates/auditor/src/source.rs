@@ -1,0 +1,359 @@
+//! Per-file source model: the token stream plus the structural facts every
+//! rule needs — which tokens live inside `#[cfg(test)]` items, which live
+//! inside `#[cfg(feature = "fault-injection")]` items, and which lines carry
+//! an inline allowlist directive.
+//!
+//! # Allowlist syntax
+//!
+//! ```text
+//! // audit: allow(rule-name[, other-rule]) — justification text
+//! ```
+//!
+//! A directive on its own line covers the next source line; a trailing
+//! directive covers its own line. The justification is mandatory: a bare
+//! `allow(...)` with no prose is itself reported under the `allow-syntax`
+//! rule, as is a directive naming a rule the auditor does not know.
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
+
+/// A parsed allowlist directive.
+#[derive(Debug, Clone)]
+pub struct AllowDirective {
+    /// Rules the directive suppresses.
+    pub rules: Vec<String>,
+    /// Justification text after the rule list (may be empty — that is an
+    /// `allow-syntax` finding).
+    pub justification: String,
+    /// Line the directive's comment starts on.
+    pub line: u32,
+}
+
+/// One source file prepared for auditing.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path as reported in diagnostics (repo-relative when possible).
+    pub path: PathBuf,
+    /// Full token stream, comments included.
+    pub tokens: Vec<Token>,
+    /// Token indexes inside `#[cfg(test)]`-gated items (including nested
+    /// content of `mod tests`).
+    test_mask: Vec<bool>,
+    /// Token indexes inside `#[cfg(feature = "fault-injection")]`-gated
+    /// items.
+    fault_gate_mask: Vec<bool>,
+    /// `line → rules allowed on that line` from inline directives.
+    allows: BTreeMap<u32, BTreeSet<String>>,
+    /// All directives, for syntax validation.
+    pub directives: Vec<AllowDirective>,
+}
+
+impl SourceFile {
+    /// Tokenize and analyze one file.
+    pub fn parse(path: PathBuf, source: &str) -> SourceFile {
+        let tokens = tokenize(source);
+        let test_mask = gated_mask(&tokens, &GateKind::Test);
+        let fault_gate_mask = gated_mask(&tokens, &GateKind::Feature("fault-injection"));
+        let directives = parse_directives(&tokens);
+        let mut allows: BTreeMap<u32, BTreeSet<String>> = BTreeMap::new();
+        for d in &directives {
+            // The directive covers its own line (trailing form) and the next
+            // line (standalone form).
+            for line in [d.line, d.line + 1] {
+                allows
+                    .entry(line)
+                    .or_default()
+                    .extend(d.rules.iter().cloned());
+            }
+        }
+        SourceFile {
+            path,
+            tokens,
+            test_mask,
+            fault_gate_mask,
+            allows,
+            directives,
+        }
+    }
+
+    /// Is token `i` inside a `#[cfg(test)]`-gated item?
+    pub fn in_test(&self, i: usize) -> bool {
+        self.test_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Is token `i` inside a `#[cfg(feature = "fault-injection")]`-gated
+    /// item?
+    pub fn in_fault_gate(&self, i: usize) -> bool {
+        self.fault_gate_mask.get(i).copied().unwrap_or(false)
+    }
+
+    /// Is `rule` allowlisted on `line` by an inline directive?
+    pub fn is_allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(&line).is_some_and(|set| set.contains(rule))
+    }
+
+    /// Indexes of non-comment tokens (the stream most rules walk).
+    pub fn code_indexes(&self) -> Vec<usize> {
+        (0..self.tokens.len())
+            .filter(|&i| !self.tokens[i].is_comment())
+            .collect()
+    }
+}
+
+/// What a `#[cfg(...)]` attribute must mention for its item to be masked.
+enum GateKind {
+    /// `test` appears as a bare ident in the cfg predicate.
+    Test,
+    /// `feature = "<name>"` appears in the cfg predicate.
+    Feature(&'static str),
+}
+
+impl GateKind {
+    /// Does the token slice of a cfg predicate satisfy this gate?
+    fn matches(&self, predicate: &[Token]) -> bool {
+        match self {
+            GateKind::Test => predicate.iter().any(|t| t.is_ident("test")),
+            GateKind::Feature(name) => predicate.windows(3).any(|w| {
+                w[0].is_ident("feature")
+                    && w[1].is_punct('=')
+                    && w[2].kind == TokenKind::Str
+                    && w[2].text == *name
+            }),
+        }
+    }
+}
+
+/// Mark every token belonging to an item gated by a matching `#[cfg(...)]`.
+///
+/// Item extent: after the attribute (and any further attributes), the item
+/// runs to the first `,` or `;` at nesting depth zero, or through the first
+/// complete `{...}` block at depth zero — whichever closes first. That covers
+/// functions, structs, enums, mods, impls, struct fields, and attributed
+/// statements alike.
+fn gated_mask(tokens: &[Token], gate: &GateKind) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let code: Vec<usize> = (0..tokens.len())
+        .filter(|&i| !tokens[i].is_comment())
+        .collect();
+    let mut c = 0usize;
+    while c < code.len() {
+        // Look for `#` `[` `cfg` `(` … `)` `]`.
+        if !(tokens[code[c]].is_punct('#')
+            && c + 3 < code.len()
+            && tokens[code[c + 1]].is_punct('[')
+            && tokens[code[c + 2]].is_ident("cfg")
+            && tokens[code[c + 3]].is_punct('('))
+        {
+            c += 1;
+            continue;
+        }
+        // Collect the predicate tokens up to the matching `)`.
+        let mut depth = 1usize;
+        let mut p = c + 4;
+        let pred_start = p;
+        while p < code.len() && depth > 0 {
+            if tokens[code[p]].is_punct('(') {
+                depth += 1;
+            } else if tokens[code[p]].is_punct(')') {
+                depth -= 1;
+            }
+            p += 1;
+        }
+        let predicate: Vec<Token> = code[pred_start..p.saturating_sub(1)]
+            .iter()
+            .map(|&i| tokens[i].clone())
+            .collect();
+        // Skip the closing `]`.
+        let mut q = p;
+        if q < code.len() && tokens[code[q]].is_punct(']') {
+            q += 1;
+        }
+        if !gate.matches(&predicate) {
+            c = q;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        while q + 1 < code.len()
+            && tokens[code[q]].is_punct('#')
+            && tokens[code[q + 1]].is_punct('[')
+        {
+            let mut d = 0usize;
+            q += 1; // at `[`
+            loop {
+                if tokens[code[q]].is_punct('[') {
+                    d += 1;
+                } else if tokens[code[q]].is_punct(']') {
+                    d -= 1;
+                    if d == 0 {
+                        q += 1;
+                        break;
+                    }
+                }
+                q += 1;
+                if q >= code.len() {
+                    break;
+                }
+            }
+        }
+        // Walk the item: ends at `,`/`;` at depth 0, or after the first
+        // complete brace block at depth 0.
+        let item_start = q;
+        let mut brace_depth = 0usize;
+        let mut paren_depth = 0usize;
+        let mut end = q;
+        while end < code.len() {
+            let t = &tokens[code[end]];
+            if t.is_punct('{') {
+                brace_depth += 1;
+            } else if t.is_punct('}') {
+                brace_depth = brace_depth.saturating_sub(1);
+                if brace_depth == 0 {
+                    end += 1;
+                    break;
+                }
+            } else if t.is_punct('(') || t.is_punct('[') {
+                paren_depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') {
+                if paren_depth == 0 {
+                    // Closing a scope the item did not open (e.g. a gated
+                    // struct field at the end of the declaration list).
+                    break;
+                }
+                paren_depth -= 1;
+            } else if (t.is_punct(',') || t.is_punct(';')) && brace_depth == 0 && paren_depth == 0 {
+                end += 1;
+                break;
+            }
+            end += 1;
+        }
+        for &i in &code[item_start..end.min(code.len())] {
+            mask[i] = true;
+        }
+        c = end.max(q + 1);
+    }
+    mask
+}
+
+/// Extract `audit: allow(...)` directives from comment tokens.
+fn parse_directives(tokens: &[Token]) -> Vec<AllowDirective> {
+    let mut out = Vec::new();
+    for t in tokens {
+        if t.kind != TokenKind::LineComment && t.kind != TokenKind::BlockComment {
+            continue;
+        }
+        let text = t.text.trim();
+        let Some(rest) = text.strip_prefix("audit:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (rules_part, justification) = match rest.strip_prefix('(') {
+            Some(r) => match r.split_once(')') {
+                Some((inside, after)) => (inside, after),
+                None => (r, ""),
+            },
+            None => ("", rest),
+        };
+        let rules: Vec<String> = rules_part
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        // Strip separator punctuation (`—`, `-`, `:`) before judging whether
+        // a justification was given.
+        let justification = justification
+            .trim_start_matches(|c: char| c.is_whitespace() || c == '—' || c == '-' || c == ':')
+            .trim()
+            .to_string();
+        out.push(AllowDirective {
+            rules,
+            justification,
+            line: t.line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("test.rs"), src)
+    }
+
+    #[test]
+    fn test_mod_is_masked() {
+        let f = file(
+            "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n",
+        );
+        let unwraps: Vec<(usize, bool)> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("unwrap"))
+            .map(|(i, _)| (i, f.in_test(i)))
+            .collect();
+        assert_eq!(unwraps.len(), 2);
+        assert!(!unwraps[0].1, "live code must not be masked");
+        assert!(unwraps[1].1, "test mod body must be masked");
+    }
+
+    #[test]
+    fn cfg_all_test_is_masked() {
+        let f = file("#[cfg(all(test, feature = \"x\"))]\nmod tests { fn t() { a.unwrap(); } }\n");
+        let i = f.tokens.iter().position(|t| t.is_ident("unwrap")).unwrap();
+        assert!(f.in_test(i));
+    }
+
+    #[test]
+    fn fault_gate_masks_field_and_fn() {
+        let f = file(
+            "struct S {\n    #[cfg(feature = \"fault-injection\")]\n    plan: FaultPlan,\n    other: u32,\n}\n#[cfg(feature = \"fault-injection\")]\nfn gated() { FaultPlan::new(); }\nfn open() { }\n",
+        );
+        let plans: Vec<(usize, bool)> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.is_ident("FaultPlan"))
+            .map(|(i, _)| (i, f.in_fault_gate(i)))
+            .collect();
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|&(_, gated)| gated));
+        let other = f.tokens.iter().position(|t| t.is_ident("other")).unwrap();
+        assert!(!f.in_fault_gate(other), "field after the gated one is open");
+        let open = f.tokens.iter().position(|t| t.is_ident("open")).unwrap();
+        assert!(!f.in_fault_gate(open));
+    }
+
+    #[test]
+    fn allow_directive_covers_own_and_next_line() {
+        let f = file("// audit: allow(panic-freedom) — provably infallible\nx.unwrap();\n");
+        assert!(f.is_allowed("panic-freedom", 1));
+        assert!(f.is_allowed("panic-freedom", 2));
+        assert!(!f.is_allowed("panic-freedom", 3));
+        assert!(!f.is_allowed("determinism", 2));
+    }
+
+    #[test]
+    fn allow_directive_multiple_rules() {
+        let f = file(
+            "let g = m.lock(); // audit: allow(lock-discipline, panic-freedom): held briefly\n",
+        );
+        assert!(f.is_allowed("lock-discipline", 1));
+        assert!(f.is_allowed("panic-freedom", 1));
+        assert_eq!(f.directives.len(), 1);
+        assert_eq!(f.directives[0].justification, "held briefly");
+    }
+
+    #[test]
+    fn directive_without_justification_is_recorded_empty() {
+        let f = file("// audit: allow(determinism)\nx();\n");
+        assert_eq!(f.directives.len(), 1);
+        assert!(f.directives[0].justification.is_empty());
+    }
+}

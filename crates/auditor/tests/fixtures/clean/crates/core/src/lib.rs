@@ -1,0 +1,26 @@
+//! Fixture: clean core code — allowlisted exception, test-only unwrap,
+//! deterministic containers.
+
+use std::collections::BTreeMap;
+
+pub fn fold(values: &[(String, u64)]) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for (k, v) in values {
+        *out.entry(k.clone()).or_insert(0) += v;
+    }
+    out
+}
+
+pub fn budgeted() {
+    // audit: allow(determinism) — opt-in stop clock; bounds runtime only
+    let _ = std::time::Instant::now();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u8> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: deliberate determinism and panic-freedom violations.
+use std::collections::HashMap;
+
+pub fn run() {
+    let started = std::time::Instant::now();
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    counts.insert("gen".to_string(), 1);
+    let v = counts.get("gen").unwrap();
+    let _ = (started, v);
+}
+
+pub fn seeded() {
+    let r = thread_rng();
+    let _ = r;
+}

@@ -1,0 +1,19 @@
+//! Fixture: a fault-injection symbol leaking past its feature gate.
+
+#[cfg(feature = "fault-injection")]
+pub struct FaultPlan {
+    pub kill_after: usize,
+}
+
+pub fn run_ungated() {
+    let plan = FaultPlan { kill_after: 2 };
+    let _ = plan.kill_after;
+}
+
+pub fn also_bad() {
+    // audit: allow(nonexistent-rule) — names a rule the auditor does not know
+    let x = 1;
+    // audit: allow(determinism)
+    let y = x;
+    let _ = y;
+}

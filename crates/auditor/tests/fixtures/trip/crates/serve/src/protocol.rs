@@ -1,0 +1,17 @@
+//! Fixture: an error taxonomy with an unmapped and an untested variant.
+
+pub enum ErrorKind {
+    BadRequest,
+    Unmapped,
+    Untested,
+}
+
+impl ErrorKind {
+    pub fn status(self) -> u16 {
+        match self {
+            ErrorKind::BadRequest => 400,
+            ErrorKind::Untested => 422,
+            _ => 500,
+        }
+    }
+}

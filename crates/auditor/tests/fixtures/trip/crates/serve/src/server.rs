@@ -1,0 +1,10 @@
+//! Fixture: lock-discipline and request-path indexing violations.
+
+pub fn broadcast(&self) {
+    let slots = self.slots.read();
+    self.tx.send(slots.len());
+}
+
+pub fn first(xs: &[f64]) -> f64 {
+    xs[0]
+}

@@ -1,0 +1,6 @@
+//! Fixture integration test: covers BadRequest and Unmapped, not Untested.
+
+fn exercise() {
+    let _ = ErrorKind::BadRequest;
+    assert!(body.contains("unmapped"));
+}

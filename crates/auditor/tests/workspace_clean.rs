@@ -1,0 +1,26 @@
+//! The gate's own gate: the live workspace must audit clean. If this test
+//! fails, either fix the flagged code or allowlist it inline with a written
+//! justification — do not touch this test.
+
+use evoforecast_auditor::run_full_audit;
+use std::path::PathBuf;
+
+#[test]
+fn live_workspace_is_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves");
+    let report = run_full_audit(&root).expect("workspace loads");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — did the workspace layout move?",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report.diagnostics.iter().map(|d| d.render()).collect();
+    assert!(
+        report.clean,
+        "the workspace must satisfy its own invariants:\n{}",
+        rendered.join("\n")
+    );
+}

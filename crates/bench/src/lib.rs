@@ -9,6 +9,7 @@
 //! experiment at the paper's full parameters (45 000 training points, 75 000
 //! generations, ...).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -16,6 +16,7 @@
 //! evoforecast-cli analyze  --model model.json --data tides.csv
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;

@@ -185,8 +185,10 @@ impl MatchBitset {
         self.words[word_offset..word_offset + words.len()].copy_from_slice(words);
     }
 
-    /// Raw word view (for the chunked accumulation kernels).
-    pub(crate) fn words(&self) -> &[u64] {
+    /// Raw word view — the chunked accumulation kernels and checkpoint
+    /// serialization ([`crate::checkpoint::EnsembleCheckpoint::covered_words`])
+    /// read the universe as packed `u64`s.
+    pub fn words(&self) -> &[u64] {
         &self.words
     }
 

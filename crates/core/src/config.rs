@@ -116,6 +116,7 @@ impl EngineConfig {
     /// # Panics
     /// Panics on an empty training slice (experiment-setup error).
     pub fn for_series(train: &[f64], window: WindowSpec) -> EngineConfig {
+        // audit: allow(panic-freedom) — documented `# Panics` contract, pinned by a test; empty training data is a setup bug
         let (lo, hi) = stats::min_max(train).expect("training series must be non-empty");
         let range = (hi - lo).max(f64::MIN_POSITIVE);
         EngineConfig {
@@ -148,6 +149,7 @@ impl EngineConfig {
         let value_range = examples.feature_range();
         EngineConfig {
             window: WindowSpec::new(examples.feature_len(), 1)
+                // audit: allow(panic-freedom) — TabularExamples construction rejects feature_len == 0
                 .expect("feature_len >= 1 by TabularExamples construction"),
             population_size: 100,
             generations: 10_000,
@@ -282,6 +284,7 @@ impl EnsembleConfig {
     /// the bit-identical-resume guarantee).
     pub fn fingerprint(&self) -> u64 {
         let json = serde_json::to_string(self)
+            // audit: allow(panic-freedom) — EnsembleConfig is plain data; serialization cannot fail
             .expect("EnsembleConfig serializes: all fields are plain data");
         crate::checkpoint::fingerprint_json(&json)
     }

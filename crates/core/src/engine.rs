@@ -90,6 +90,7 @@ impl StopConditions {
 
     /// Builder-style wall-clock deadline, as a duration from now.
     pub fn with_time_budget(mut self, budget: std::time::Duration) -> Self {
+        // audit: allow(determinism) — explicit opt-in stop condition; affects only when evolution stops, never what it computes
         self.deadline = Some(std::time::Instant::now() + budget);
         self
     }
@@ -327,6 +328,7 @@ impl<E: ExampleSet> GenericEngine<E> {
     /// [`DeltaState`] and are swapped — not cloned — into the population
     /// slots on replacement.
     fn offspring_delta(&mut self, ia: usize, ib: usize) -> bool {
+        // audit: allow(panic-freedom) — delta is always restored before return; take/put pairs are local to this fn
         let mut delta = self.delta.take().expect("delta state present");
         let DeltaState {
             columns,
@@ -483,6 +485,7 @@ impl<E: ExampleSet> GenericEngine<E> {
                 }
             }
             if let Some(deadline) = stop.deadline {
+                // audit: allow(determinism) — deadline stop condition the caller opted into via with_time_budget
                 if std::time::Instant::now() >= deadline {
                     return (self.population.rules(), StopReason::DeadlineExpired);
                 }

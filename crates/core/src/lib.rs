@@ -39,6 +39,7 @@
 //! assert!(hit > 0, "at least some validation windows should be covered");
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;

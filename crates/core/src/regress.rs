@@ -150,6 +150,7 @@ pub fn fit_from_accumulator<E: ExampleSet>(
     let mean_target = acc.sum_targets() / count as f64;
 
     if count == 1 {
+        // audit: allow(panic-freedom) — guarded by `count == 1` on the previous line, so one set bit exists
         let i = matched.iter_ones().next().expect("count == 1");
         return Some(FittedPart {
             coefficients: vec![0.0; d],

@@ -40,6 +40,7 @@ pub fn choose_victim<R: Rng>(
     assert!(!pop.is_empty(), "replacement over empty population");
     match strategy {
         ReplacementStrategy::Crowding => nearest_by_prediction(pop, offspring_prediction),
+        // audit: allow(panic-freedom) — population asserted non-empty at fn entry
         ReplacementStrategy::ReplaceWorst => pop.worst_index().expect("non-empty"),
         ReplacementStrategy::ReplaceRandom => rng.gen_range(0..pop.len()),
     }

@@ -180,26 +180,62 @@ impl Condition {
         out
     }
 
+    /// Parse the flat layout produced by [`Condition::to_flat`], rejecting
+    /// malformed input with a typed error.
+    ///
+    /// # Errors
+    /// [`FlatEncodingError`] on empty or odd-length input, or a pair where
+    /// exactly one bound is NaN.
+    pub fn try_from_flat(flat: &[f64]) -> Result<Condition, FlatEncodingError> {
+        if flat.is_empty() || !flat.len().is_multiple_of(2) {
+            return Err(FlatEncodingError::BadLength(flat.len()));
+        }
+        let genes = flat
+            .chunks_exact(2)
+            .enumerate()
+            .map(|(i, pair)| match (pair[0].is_nan(), pair[1].is_nan()) {
+                (true, true) => Ok(Gene::Wildcard),
+                (false, false) => Ok(Gene::bounded(pair[0], pair[1])),
+                _ => Err(FlatEncodingError::HalfNanPair(i)),
+            })
+            .collect::<Result<Vec<Gene>, FlatEncodingError>>()?;
+        Ok(Condition::new(genes))
+    }
+
     /// Parse the flat layout produced by [`Condition::to_flat`].
     ///
     /// # Panics
-    /// Panics on odd-length input or a half-NaN pair.
+    /// Panics on odd-length input or a half-NaN pair; use
+    /// [`Condition::try_from_flat`] to handle malformed input gracefully.
     pub fn from_flat(flat: &[f64]) -> Condition {
-        assert!(
-            flat.len() >= 2 && flat.len().is_multiple_of(2),
-            "flat encoding must hold (lo, hi) pairs"
-        );
-        let genes = flat
-            .chunks_exact(2)
-            .map(|pair| match (pair[0].is_nan(), pair[1].is_nan()) {
-                (true, true) => Gene::Wildcard,
-                (false, false) => Gene::bounded(pair[0], pair[1]),
-                _ => panic!("half-NaN pair in flat encoding"),
-            })
-            .collect();
-        Condition::new(genes)
+        // audit: allow(panic-freedom) — documented panicking convenience wrapper; fallible path is try_from_flat
+        Condition::try_from_flat(flat).unwrap_or_else(|e| panic!("{e}"))
     }
 }
+
+/// Why a flat `(LL, UL)` encoding failed to parse into a [`Condition`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlatEncodingError {
+    /// Input length was zero or odd — it cannot hold `(lo, hi)` pairs.
+    BadLength(usize),
+    /// Pair at this index has exactly one NaN bound; a wildcard needs both.
+    HalfNanPair(usize),
+}
+
+impl fmt::Display for FlatEncodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FlatEncodingError::BadLength(n) => {
+                write!(f, "flat encoding of length {n} cannot hold (lo, hi) pairs")
+            }
+            FlatEncodingError::HalfNanPair(i) => {
+                write!(f, "half-NaN pair at gene {i} in flat encoding")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlatEncodingError {}
 
 impl fmt::Display for Condition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

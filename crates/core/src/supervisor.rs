@@ -291,6 +291,7 @@ impl Supervisor {
         train: &[f64],
         checkpoint: Option<&Path>,
     ) -> Result<(RuleSetPredictor, SupervisorReport), EvoError> {
+        // audit: allow(determinism) — wall-clock budget bookkeeping; bounds retries, never changes any computed rule
         let start = Instant::now();
         let data = self.config.engine.window.dataset(train)?;
         let n = data.len();
@@ -517,6 +518,7 @@ impl Supervisor {
         let caught = catch_unwind(AssertUnwindSafe(|| {
             #[cfg(feature = "fault-injection")]
             if self.fault_plan.should_kill(slot, attempt) {
+                // audit: allow(panic-freedom) — the whole point: a deliberate kill for supervisor tests, feature-gated
                 panic!("fault injection: killed execution {slot} attempt {attempt}");
             }
             let mut cfg = self.config.engine.clone().with_seed(seed);

@@ -28,6 +28,7 @@
 //! assert!((fit.intercept() - 1.0).abs() < 1e-9);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Numeric kernels below index several structures in lockstep (matrix rows,
 // momentum buffers, context vectors); indexed loops state that intent more

@@ -16,6 +16,7 @@
 //! [`paired::PairedErrors`], so an experiment computes error-over-predicted
 //! and coverage in one pass, exactly like the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod compare;

@@ -16,6 +16,7 @@
 //!
 //! Every trainer is deterministic given its seed.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 // Numeric kernels below index several structures in lockstep (matrix rows,
 // momentum buffers, context vectors); indexed loops state that intent more

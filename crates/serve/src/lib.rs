@@ -63,6 +63,7 @@
 //! server.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod http;

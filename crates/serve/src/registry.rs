@@ -96,6 +96,7 @@ impl std::error::Error for RegistryError {}
 /// Fingerprint of a windowing contract: FNV-1a over the spec's canonical
 /// JSON, the same hash family PR 3 checkpoints use for their config.
 pub fn spec_fingerprint(spec: &WindowSpec) -> u64 {
+    // audit: allow(panic-freedom) — WindowSpec is a plain struct of integers; serializing it cannot fail
     let json = serde_json::to_string(spec).expect("WindowSpec always serializes");
     fingerprint_json(&json)
 }
@@ -115,16 +116,12 @@ impl ModelRegistry {
     /// Grab the current model of a slot. The returned `Arc` stays valid (and
     /// internally consistent) regardless of later swaps.
     pub fn get(&self, name: &str) -> Option<Arc<ModelEntry>> {
-        self.slots
-            .read()
-            .expect("registry lock poisoned")
-            .get(name)
-            .cloned()
+        self.read_slots().get(name).cloned()
     }
 
     /// Number of filled slots.
     pub fn len(&self) -> usize {
-        self.slots.read().expect("registry lock poisoned").len()
+        self.read_slots().len()
     }
 
     /// True when no slot is filled.
@@ -134,12 +131,16 @@ impl ModelRegistry {
 
     /// Introspection rows for every slot, name-ordered.
     pub fn list(&self) -> Vec<ModelInfo> {
+        self.read_slots().values().map(|e| e.info()).collect()
+    }
+
+    /// Take the read lock, recovering from poisoning: the map holds only
+    /// `Arc<ModelEntry>` values and every write is a validate-then-insert,
+    /// so a panicking writer can never leave a half-updated entry behind.
+    fn read_slots(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<String, Arc<ModelEntry>>> {
         self.slots
             .read()
-            .expect("registry lock poisoned")
-            .values()
-            .map(|e| e.info())
-            .collect()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Administratively fill a slot from an in-memory model, bypassing the
@@ -241,7 +242,12 @@ impl ModelRegistry {
             )));
         }
         let compiled = CompiledRuleSet::compile(&predictor);
-        let mut slots = self.slots.write().expect("registry lock poisoned");
+        // Poison recovery is safe for the same reason as `read_slots`: the
+        // map is structurally valid at every instruction boundary.
+        let mut slots = self
+            .slots
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Version against the *current* slot content, not the snapshot taken
         // before validation, so concurrent swaps still produce a strictly
         // increasing sequence.

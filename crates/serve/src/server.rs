@@ -92,22 +92,21 @@ impl Server {
         let stop = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::bounded::<Admitted>(config.queue_depth.max(1));
 
-        let worker_handles: Vec<JoinHandle<()>> = (0..config.workers.max(1))
-            .map(|i| {
-                let rx = rx.clone();
-                let registry = Arc::clone(&registry);
-                let stats = Arc::clone(&stats);
-                let config = config.clone();
-                std::thread::Builder::new()
-                    .name(format!("forecast-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(admitted) = rx.recv() {
-                            handle_connection(admitted, &registry, &stats, &config);
-                        }
-                    })
-                    .expect("spawn worker thread")
-            })
-            .collect();
+        let mut worker_handles: Vec<JoinHandle<()>> = Vec::with_capacity(config.workers.max(1));
+        for i in 0..config.workers.max(1) {
+            let rx = rx.clone();
+            let registry = Arc::clone(&registry);
+            let stats = Arc::clone(&stats);
+            let config = config.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("forecast-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(admitted) = rx.recv() {
+                        handle_connection(admitted, &registry, &stats, &config);
+                    }
+                })?;
+            worker_handles.push(handle);
+        }
 
         let accept_handle = {
             let stop = Arc::clone(&stop);
@@ -136,8 +135,7 @@ impl Server {
                             }
                         }
                     }
-                })
-                .expect("spawn accept thread")
+                })?
         };
 
         Ok(Server {
@@ -203,7 +201,12 @@ fn shed(mut stream: TcpStream) {
 }
 
 fn to_json<T: Serialize>(value: &T) -> String {
-    serde_json::to_string(value).expect("response types always serialize")
+    // Response types are plain data structs, so serialization cannot fail in
+    // practice; if it ever does, degrade to a valid JSON error body rather
+    // than panicking the worker mid-response.
+    serde_json::to_string(value).unwrap_or_else(|_| {
+        "{\"error\":\"internal\",\"message\":\"response serialization failed\"}".to_string()
+    })
 }
 
 /// Outcome of routing: a status + serialized body.
@@ -439,6 +442,7 @@ fn predict_batch(req: &ForecastRequest, entry: &ModelEntry) -> ForecastResponse 
                     Some(p) => {
                         traj.push(p);
                         rolling.rotate_left(1);
+                        // audit: allow(panic-freedom) — d == rolling.len() >= 1: validated non-empty at admission
                         rolling[d - 1] = p;
                     }
                     None => break,

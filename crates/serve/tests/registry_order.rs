@@ -1,0 +1,41 @@
+//! Determinism pin for the registry's enumeration order (the wire `/models`
+//! listing is built from [`ModelRegistry::list`]). The determinism audit
+//! rule bans `HashMap`/`HashSet` in serve; this test pins the observable
+//! property that rule protects: listing order is the name order, independent
+//! of insertion order.
+
+// This suite needs only the model fixtures, not the HTTP client half.
+#[allow(dead_code)]
+mod common;
+
+use common::{flat_predictor, spec};
+use evoforecast_serve::registry::ModelRegistry;
+
+#[test]
+fn list_is_name_ordered_regardless_of_insertion_order() {
+    let orders: [&[&str]; 3] = [
+        &["zeta", "alpha", "mid"],
+        &["alpha", "mid", "zeta"],
+        &["mid", "zeta", "alpha"],
+    ];
+    let mut listings = Vec::new();
+    for names in orders {
+        let registry = ModelRegistry::new();
+        for (i, name) in names.iter().enumerate() {
+            registry
+                .install(name, spec(), flat_predictor(i as f64))
+                .expect("install slot");
+        }
+        let listed: Vec<String> = registry.list().into_iter().map(|m| m.name).collect();
+        assert_eq!(
+            listed,
+            vec!["alpha".to_string(), "mid".to_string(), "zeta".to_string()],
+            "inserted as {names:?}"
+        );
+        listings.push(listed);
+    }
+    assert!(
+        listings.windows(2).all(|w| w[0] == w[1]),
+        "every insertion order must produce the identical listing"
+    );
+}

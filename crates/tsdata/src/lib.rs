@@ -26,6 +26,7 @@
 //! assert!(ds.len() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;

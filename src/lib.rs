@@ -6,6 +6,7 @@
 //! See `DESIGN.md` at the repository root for the full system inventory and
 //! `EXPERIMENTS.md` for the paper-vs-measured record of every table/figure.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use evoforecast_core as core;
